@@ -1,0 +1,138 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/counting"
+	"repro/internal/petri"
+)
+
+// Ablation: three ways to decide coverability on the same instance —
+// the backward algorithm (what the library uses for yes/no queries),
+// the Karp–Miller tree (computes the whole coverability set first) and
+// the forward shortest-witness search (also returns a minimal witness).
+// The benchmarks quantify the design choice documented in DESIGN.md:
+// backward for decisions, forward search only when the witness length
+// itself is the measurement (E5).
+
+func coverInstance(b *testing.B) (*petri.Net, conf.Config, conf.Config) {
+	b.Helper()
+	p, err := counting.FlockOfBirds(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 7}))
+	target := conf.MustFromMap(p.Space(), map[string]int64{"T": 3})
+	return p.Net(), from, target
+}
+
+func BenchmarkAblationCoverBackward(b *testing.B) {
+	net, from, target := coverInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := net.Coverable(from, target, 1<<16)
+		if err != nil || !ok {
+			b.Fatalf("coverable = %v, %v", ok, err)
+		}
+	}
+}
+
+func BenchmarkAblationCoverKarpMiller(b *testing.B) {
+	net, from, target := coverInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, err := net.KarpMiller(from, 1<<18)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tree.Covers(target) {
+			b.Fatal("KM misses coverable target")
+		}
+	}
+}
+
+func BenchmarkAblationCoverForwardWitness(b *testing.B) {
+	net, from, target := coverInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := net.ShortestCoveringWord(from, target, petri.Budget{MaxConfigs: 1 << 18})
+		if err != nil || w == nil {
+			b.Fatalf("witness = %v, %v", w, err)
+		}
+	}
+}
+
+// Ablation: reachability-closure cost with and without an agent cap —
+// quantifies why Budget.MaxAgents exists for non-conservative nets
+// (conservative nets pay only the pruning-check overhead).
+func BenchmarkAblationClosureUncapped(b *testing.B) {
+	p, err := counting.Example42(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 5}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Net().Reach(from, petri.Budget{MaxConfigs: 1 << 18}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationClosureAgentCapped(b *testing.B) {
+	p, err := counting.Example42(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 5}))
+	cap := from.Agents() // conservative: cap is never exceeded
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Net().Reach(from, petri.Budget{MaxConfigs: 1 << 18, MaxAgents: cap}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The three coverability deciders must agree — tested, not just timed.
+func TestCoverabilityDecidersAgree(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := p.Net()
+	from := p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 5}))
+	targets := []map[string]int64{
+		{"T": 1},
+		{"T": 5},
+		{"T": 6},  // more than the population: not coverable
+		{"v3": 1}, // value 3 reachable
+		{"i": 6},  // more i than provided: not coverable
+	}
+	for _, tm := range targets {
+		target := conf.MustFromMap(p.Space(), tm)
+		back, err := net.Coverable(from, target, 1<<16)
+		if err != nil {
+			t.Fatalf("backward %v: %v", target, err)
+		}
+		tree, err := net.KarpMiller(from, 1<<18)
+		if err != nil {
+			t.Fatalf("KM: %v", err)
+		}
+		km := tree.Covers(target)
+		w, err := net.ShortestCoveringWord(from, target, petri.Budget{MaxConfigs: 1 << 18})
+		if err != nil {
+			t.Fatalf("forward %v: %v", target, err)
+		}
+		fwd := w != nil
+		if back != km || km != fwd {
+			t.Errorf("target %v: backward=%v karp-miller=%v forward=%v", target, back, km, fwd)
+		}
+	}
+}

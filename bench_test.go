@@ -1,0 +1,192 @@
+// Package repro's top-level benchmarks regenerate every experiment of
+// DESIGN.md's index (E1–E10): one benchmark per table/figure-equivalent
+// claim of the paper, timing the full workload that produces the
+// table. Run with
+//
+//	go test -bench=. -benchmem
+//
+// cmd/ppbench prints the corresponding tables.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/conf"
+	"repro/internal/counting"
+	"repro/internal/experiments"
+	"repro/internal/hilbert"
+	"repro/internal/petri"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+func runTable(b *testing.B, fn func() (*experiments.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty experiment table")
+		}
+	}
+}
+
+// BenchmarkE1StateCounts regenerates the construction trade-off table
+// (Section 4 + [6]): states/width/leaders per counting construction.
+func BenchmarkE1StateCounts(b *testing.B) { runTable(b, experiments.E1StateCounts) }
+
+// BenchmarkE1bMachine regenerates the repeated-squaring machine table
+// underlying the Θ(log log n) family.
+func BenchmarkE1bMachine(b *testing.B) { runTable(b, experiments.MachineTable) }
+
+// BenchmarkE2Theorem43 evaluates the headline Theorem 4.3 bound for
+// d = 1..10.
+func BenchmarkE2Theorem43(b *testing.B) { runTable(b, experiments.E2Theorem43) }
+
+// BenchmarkE3Gap regenerates the closed-gap curves (Corollary 4.4 lower
+// bound vs the tower upper bound).
+func BenchmarkE3Gap(b *testing.B) { runTable(b, experiments.E3Gap) }
+
+// BenchmarkE4VerifyCost measures exhaustive stable-computation
+// verification across constructions and populations.
+func BenchmarkE4VerifyCost(b *testing.B) { runTable(b, experiments.E4VerifyCost) }
+
+// BenchmarkE5Rackoff measures shortest covering words against the
+// Lemma 5.3 bound.
+func BenchmarkE5Rackoff(b *testing.B) { runTable(b, experiments.E5Rackoff) }
+
+// BenchmarkE6Pottier measures Hilbert-basis norms against the Pottier
+// bound behind Lemma 7.3.
+func BenchmarkE6Pottier(b *testing.B) { runTable(b, experiments.E6Pottier) }
+
+// BenchmarkE7Euler measures Lemma 7.2 total-cycle lengths against
+// |E|·|S|.
+func BenchmarkE7Euler(b *testing.B) { runTable(b, experiments.E7Euler) }
+
+// BenchmarkE8Bottom runs the constructive Theorem 6.1
+// bottom-configuration search with certificate verification.
+func BenchmarkE8Bottom(b *testing.B) { runTable(b, experiments.E8Bottom) }
+
+// BenchmarkE9Stabilized measures the minimal Lemma 5.4 threshold.
+func BenchmarkE9Stabilized(b *testing.B) { runTable(b, experiments.E9Stabilized) }
+
+// BenchmarkE10Convergence measures simulated convergence across the
+// constructions.
+func BenchmarkE10Convergence(b *testing.B) { runTable(b, experiments.E10Convergence) }
+
+// --- micro-benchmarks for the hot substrate paths ---
+
+// BenchmarkReachClosure measures raw closure construction on
+// Example 4.2 with 8 agents.
+func BenchmarkReachClosure(b *testing.B) {
+	p, err := counting.Example42(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 5}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := p.Net().Reach(from, petri.Budget{MaxConfigs: 1 << 18})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rs.Complete {
+			b.Fatal("incomplete closure")
+		}
+	}
+}
+
+// BenchmarkBackwardCoverability measures the backward algorithm on the
+// flock net.
+func BenchmarkBackwardCoverability(b *testing.B) {
+	p, err := counting.FlockOfBirds(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 8}))
+	target := conf.MustFromMap(p.Space(), map[string]int64{"T": 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := p.Net().Coverable(from, target, 1<<16)
+		if err != nil || !ok {
+			b.Fatalf("coverable = %v, %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkHilbertBasis measures the Contejean–Devie completion on the
+// Lemma 7.3-style system 3x + y = 2z + 4w.
+func BenchmarkHilbertBasis(b *testing.B) {
+	sys, err := hilbert.NewSystem([][]int64{{3, 1, -2, -4}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis, err := sys.MinimalSolutions(hilbert.Options{})
+		if err != nil || len(basis) == 0 {
+			b.Fatalf("basis = %v, %v", basis, err)
+		}
+	}
+}
+
+// BenchmarkSimulation measures scheduler throughput on the flock
+// protocol with 64 agents.
+func BenchmarkSimulation(b *testing.B) {
+	p, err := counting.FlockOfBirds(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input, err := p.Input(map[string]int64{"i": 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(p, input, sim.Options{Seed: int64(i), MaxSteps: 50_000, StablePatience: 1_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := res.ConsensusBool(); !ok || !v {
+			b.Fatalf("unexpected outcome %+v", res)
+		}
+	}
+}
+
+// BenchmarkVerifyInput measures a single-input verification of
+// Example 4.2 with 9 agents total.
+func BenchmarkVerifyInput(b *testing.B) {
+	p, err := counting.Example42(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := conf.MustFromMap(p.Space(), map[string]int64{"i": 6})
+	pred := verify.CountingPredicate("i", 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := verify.Input(p, input, pred, petri.Budget{MaxConfigs: 1 << 18})
+		if err != nil || !rep.OK {
+			b.Fatalf("report %+v, %v", rep, err)
+		}
+	}
+}
+
+// BenchmarkTheorem43 measures big-integer bound evaluation.
+func BenchmarkTheorem43(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := bounds.Theorem43MaxN(2, 2, 2)
+		if !m.IsExact() {
+			b.Fatal("d=2 bound should be exact")
+		}
+	}
+}

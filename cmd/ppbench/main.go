@@ -1,0 +1,47 @@
+// Command ppbench runs the reproduction experiments E1–E10 (see
+// DESIGN.md) and prints each as a paper-shaped table with the claim it
+// reproduces and the measured verdict.
+//
+// Usage:
+//
+//	ppbench            # run every experiment
+//	ppbench E3 E8      # run selected experiments by id
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	tables, err := experiments.All()
+	if err != nil {
+		return err
+	}
+	want := make(map[string]bool, len(args))
+	for _, a := range args {
+		want[strings.ToUpper(a)] = true
+	}
+	printed := 0
+	for _, t := range tables {
+		if len(want) > 0 && !want[strings.ToUpper(t.ID)] {
+			continue
+		}
+		fmt.Println(t.Render())
+		printed++
+	}
+	if len(want) > 0 && printed == 0 {
+		return fmt.Errorf("no experiment matches %v", args)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunAll(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	if err := run([]string{"e2", "E6"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"E99"}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

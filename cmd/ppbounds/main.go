@@ -1,0 +1,107 @@
+// Command ppbounds evaluates the paper's quantitative bounds.
+//
+// Usage:
+//
+//	ppbounds thm43 -dmax 10 -w 2 -l 2     Theorem 4.3 table
+//	ppbounds minstates -log10n 100 -m 2   states needed for a given n
+//	ppbounds cor44 -kmax 20 -h 0.49 -m 2  Corollary 4.4 curve at n=2^(2^k)
+//	ppbounds rackoff -d 5 -t 1 -r 1       Lemma 5.3 bound
+//	ppbounds section8 -d 4 -t 2 -l 2      Section 8 cascade (b,h,k,a,ℓ,n)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/bounds"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppbounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("subcommand required: thm43 | minstates | cor44 | rackoff | section8")
+	}
+	switch args[0] {
+	case "thm43":
+		fs := flag.NewFlagSet("thm43", flag.ContinueOnError)
+		dmax := fs.Int("dmax", 10, "max state count")
+		w := fs.Int64("w", 2, "interaction-width")
+		l := fs.Int64("l", 2, "leaders")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		fmt.Printf("Theorem 4.3: n ≤ (4+4·%d+2·%d)^(d^((d+2)²))\n", *w, *l)
+		for d := 1; d <= *dmax; d++ {
+			m := bounds.Theorem43MaxN(d, *w, *l)
+			fmt.Printf("  d=%-3d log10(max n) = %.4g\n", d, m.Log10())
+		}
+		return nil
+	case "minstates":
+		fs := flag.NewFlagSet("minstates", flag.ContinueOnError)
+		log10n := fs.Float64("log10n", 9, "log10 of the threshold n")
+		m := fs.Int64("m", 2, "width and leader bound")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		d := bounds.MinStatesTheorem43(*log10n, *m)
+		fmt.Printf("deciding (i ≥ n) with n = 1e%g and width/leaders ≤ %d needs ≥ %d states\n", *log10n, *m, d)
+		return nil
+	case "cor44":
+		fs := flag.NewFlagSet("cor44", flag.ContinueOnError)
+		kmax := fs.Int("kmax", 20, "max tower level (n = 2^(2^k))")
+		h := fs.Float64("h", 0.49, "exponent h < 1/2")
+		m := fs.Int64("m", 2, "width and leader bound")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		fmt.Printf("Corollary 4.4 lower bound Ω((log log n)^%g) at n = 2^(2^k), m = %d\n", *h, *m)
+		for k := 1; k <= *kmax; k++ {
+			log2n := math.Pow(2, float64(k))
+			lb := bounds.Corollary44LowerBound(log2n, *h, *m)
+			fmt.Printf("  k=%-3d states ≥ %.2f\n", k, lb)
+		}
+		return nil
+	case "rackoff":
+		fs := flag.NewFlagSet("rackoff", flag.ContinueOnError)
+		d := fs.Int("d", 5, "states |P|")
+		tn := fs.Int64("t", 1, "‖T‖∞")
+		rn := fs.Int64("r", 1, "‖target‖∞")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		m := bounds.Rackoff(*d, *rn, *tn)
+		fmt.Printf("Lemma 5.3: covering word length ≤ (%d+%d)^(%d^%d): log10 = %.4g\n",
+			*rn, *tn, *d, *d, m.Log10())
+		return nil
+	case "section8":
+		fs := flag.NewFlagSet("section8", flag.ContinueOnError)
+		d := fs.Int("d", 4, "states |P| (≥ 2)")
+		tn := fs.Int64("t", 2, "‖T‖∞")
+		l := fs.Int64("l", 2, "‖ρ_L‖∞")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		s, err := bounds.NewSection8(*d, *tn, *l)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Section 8 cascade for d=%d, ‖T‖∞=%d, ‖ρL‖∞=%d:\n", *d, *tn, *l)
+		fmt.Printf("  b: log10 = %.4g\n", s.B.Log10())
+		fmt.Printf("  h: log10 = %.4g\n", s.H.Log10())
+		fmt.Printf("  k: log10 = %.4g\n", s.K.Log10())
+		fmt.Printf("  a: log10 = %.4g\n", s.A.Log10())
+		fmt.Printf("  ℓ: log10 = %.4g\n", s.L.Log10())
+		fmt.Printf("  n: log10 = %.4g (final bound on the threshold)\n", s.N.Log10())
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}

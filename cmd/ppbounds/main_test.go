@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestSubcommands(t *testing.T) {
+	cases := [][]string{
+		{"thm43", "-dmax", "4"},
+		{"minstates", "-log10n", "100", "-m", "2"},
+		{"cor44", "-kmax", "5"},
+		{"rackoff", "-d", "4"},
+		{"section8", "-d", "3"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"section8", "-d", "1"}); err == nil {
+		t.Error("d=1 accepted by section8")
+	}
+}

@@ -1,0 +1,78 @@
+// Command ppsim simulates a built-in protocol under the uniform random
+// scheduler and reports convergence.
+//
+// Usage:
+//
+//	ppsim -protocol example42 -param 4 -x 10 -trials 5 -seed 1
+//
+// For the majority protocol, -x sets the A count and -y the B count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ppsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		protocol = flag.String("protocol", "example42", fmt.Sprintf("construction: %v", registry.Names()))
+		param    = flag.Int64("param", 2, "construction parameter (n or k)")
+		x        = flag.Int64("x", 3, "agents in the first input state")
+		y        = flag.Int64("y", 0, "agents in the second input state (majority only)")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		steps    = flag.Int("steps", 1_000_000, "max interactions per run")
+		patience = flag.Int("patience", 5_000, "consensus patience (steps without output change)")
+		trials   = flag.Int("trials", 1, "number of runs")
+	)
+	flag.Parse()
+
+	p, n, err := registry.Make(*protocol, *param)
+	if err != nil {
+		return err
+	}
+	fmt.Println(p)
+
+	counts := map[string]int64{}
+	initial := p.InitialStates()
+	counts[initial[0]] = *x
+	if len(initial) > 1 {
+		counts[initial[1]] = *y
+	}
+	input, err := p.Input(counts)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		fmt.Printf("predicate: %s ≥ %d; input x = %d; expected %v\n",
+			initial[0], n, *x, *x >= n)
+	}
+
+	for tr := 0; tr < *trials; tr++ {
+		res, err := sim.Run(p, input, sim.Options{
+			Seed:           *seed + int64(tr),
+			MaxSteps:       *steps,
+			StablePatience: *patience,
+		})
+		if err != nil {
+			return err
+		}
+		verdict := "no consensus"
+		if v, ok := res.ConsensusBool(); ok {
+			verdict = fmt.Sprintf("consensus %v", v)
+		}
+		fmt.Printf("run %d: steps=%d lastChange=%d converged=%v deadlocked=%v output=%v (%s)\n  final: %v\n",
+			tr, res.Steps, res.LastChange, res.Converged, res.Deadlocked, res.Output, verdict, res.Final)
+	}
+	return nil
+}

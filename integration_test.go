@@ -1,0 +1,213 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/counting"
+	"repro/internal/petri"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// The cross-cutting invariant of the whole reproduction: every sound
+// construction in the registry (a) stably computes its counting
+// predicate on inputs around the threshold, (b) respects Theorem 4.3
+// (its decided n is below the bound for its states/width/leaders), and
+// (c) converges correctly in simulation just above the threshold.
+func TestEndToEndSoundConstructions(t *testing.T) {
+	budget := petri.Budget{MaxConfigs: 1 << 19}
+	cases := []struct {
+		name  string
+		param int64
+	}{
+		{"example41", 3},
+		{"example42", 2},
+		{"flock", 4},
+		{"power2", 2},
+		{"leaderdoubling", 2},
+		{"tower", 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p, n, err := registry.Make(tc.name, tc.param)
+			if err != nil {
+				t.Fatalf("Make: %v", err)
+			}
+
+			// (a) Exhaustive verification around the threshold.
+			res, err := verify.Counting(p, "i", n, n+2, budget)
+			if err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			if !res.OK() {
+				f := res.FirstFailure()
+				t.Fatalf("fails at %v (expected %v): %v", f.Input, f.Expected, f.Counterexample)
+			}
+
+			// (b) Theorem 4.3: n must sit below the bound.
+			bound := bounds.Theorem43MaxN(p.States(), p.Width(), p.NumLeaders())
+			if !bound.GeqInt(n) {
+				t.Fatalf("Theorem 4.3 violated: n = %d above bound %v for %s", n, bound, p)
+			}
+
+			// (c) Simulation above the threshold.
+			input, err := p.Input(map[string]int64{"i": n + 2})
+			if err != nil {
+				t.Fatalf("input: %v", err)
+			}
+			stats, err := sim.RunMany(p, input, true, 5,
+				sim.Options{Seed: 42, MaxSteps: 500_000, StablePatience: 3_000})
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			if stats.Correct != stats.Converged || stats.Converged == 0 {
+				t.Fatalf("simulation: %d/%d correct of %d converged",
+					stats.Correct, stats.Converged, stats.Trials)
+			}
+		})
+	}
+}
+
+// Lemma 5.1 must hold across different protocols, not just Example 4.2:
+// stabilized w.r.t. F = γ⁻¹({0}) coincides with 0-output stability.
+func TestLemma51AcrossProtocols(t *testing.T) {
+	budget := petri.Budget{MaxConfigs: 1 << 16}
+	protos := []struct {
+		name  string
+		param int64
+		rhos  []map[string]int64
+	}{
+		{"flock", 3, []map[string]int64{
+			{"i": 1},
+			{"i": 2},
+			{"z": 2},
+			{"T": 1, "z": 1},
+			nil,
+		}},
+		{"power2", 2, []map[string]int64{
+			{"i": 3},
+			{"l1": 1, "z": 1},
+			{"T": 2},
+		}},
+	}
+	for _, pc := range protos {
+		p, _, err := registry.Make(pc.name, pc.param)
+		if err != nil {
+			t.Fatalf("Make(%s): %v", pc.name, err)
+		}
+		for _, m := range pc.rhos {
+			rho := conf.MustFromMap(p.Space(), m)
+			if err := p.Lemma51Holds(rho, budget); err != nil {
+				t.Errorf("%s: %v", pc.name, err)
+			}
+		}
+	}
+}
+
+// Theorem 6.1 certificates exist and verify on every sound construction
+// from realistic initial configurations.
+func TestBottomCertificatesAcrossProtocols(t *testing.T) {
+	opts := core.ReachBottomOptions{Budget: petri.Budget{MaxConfigs: 1 << 16}}
+	for _, tc := range []struct {
+		name  string
+		param int64
+		x     int64
+	}{
+		{"example41", 3, 4},
+		{"example42", 2, 3},
+		{"flock", 3, 4},
+		{"power2", 2, 5},
+	} {
+		p, _, err := registry.Make(tc.name, tc.param)
+		if err != nil {
+			t.Fatalf("Make(%s): %v", tc.name, err)
+		}
+		rho := p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": tc.x}))
+		cert, err := core.ReachBottom(p.Net(), rho, opts)
+		if err != nil {
+			t.Fatalf("%s: ReachBottom: %v", tc.name, err)
+		}
+		if err := core.VerifyBottomCert(p.Net(), rho, cert, opts.Budget); err != nil {
+			t.Errorf("%s: certificate rejected: %v", tc.name, err)
+		}
+		// The certificate magnitudes must respect Theorem 6.1's b.
+		d := p.States()
+		b := bounds.Theorem61B(d, p.Net().NormInf(), rho.NormInf())
+		for what, v := range map[string]int64{
+			"sigma":     int64(len(cert.Sigma)),
+			"w":         int64(len(cert.W)),
+			"component": int64(cert.ComponentSize),
+			"alpha":     int64(d) * cert.Alpha.NormInf(),
+			"beta":      int64(d) * cert.Beta.NormInf(),
+		} {
+			if !b.GeqInt(v) {
+				t.Errorf("%s: %s = %d exceeds Theorem 6.1 bound", tc.name, what, v)
+			}
+		}
+	}
+}
+
+// The state-complexity story end to end: the constructions' measured
+// state counts must dominate the Theorem 4.3 lower bound evaluated at
+// their own thresholds — i.e. the paper's lower bound is consistent
+// with every protocol this repository builds.
+func TestLowerBoundConsistency(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		param int64
+	}{
+		{"example42", 4},
+		{"flock", 6},
+		{"power2", 3},
+		{"leaderdoubling", 3},
+	} {
+		p, n, err := registry.Make(tc.name, tc.param)
+		if err != nil {
+			t.Fatalf("Make(%s): %v", tc.name, err)
+		}
+		m := p.Width()
+		if l := p.NumLeaders(); l > m {
+			m = l
+		}
+		if m == 0 {
+			m = 1
+		}
+		// log10(n) for small n.
+		log10n := 0.0
+		for v := n; v > 1; v /= 10 {
+			log10n++
+		}
+		need := bounds.MinStatesTheorem43(log10n, m)
+		if p.States() < need {
+			t.Errorf("%s: %d states below the Theorem 4.3 minimum %d for n=%d, m=%d",
+				tc.name, p.States(), need, n, m)
+		}
+	}
+}
+
+// Example 4.1's width grows with n while Example 4.2's leader count
+// does: the Section 4 message that state count alone is meaningless.
+func TestSection4TradeoffMessage(t *testing.T) {
+	for n := int64(2); n <= 6; n++ {
+		p41, err := counting.Example41(n)
+		if err != nil {
+			t.Fatalf("Example41: %v", err)
+		}
+		p42, err := counting.Example42(n)
+		if err != nil {
+			t.Fatalf("Example42: %v", err)
+		}
+		if p41.States() != 2 || p41.Width() != n {
+			t.Errorf("n=%d: Example 4.1 shape %d states width %d", n, p41.States(), p41.Width())
+		}
+		if p42.States() != 6 || p42.NumLeaders() != n || p42.Width() != 2 {
+			t.Errorf("n=%d: Example 4.2 shape %d states %d leaders width %d",
+				n, p42.States(), p42.NumLeaders(), p42.Width())
+		}
+	}
+}

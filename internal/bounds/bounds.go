@@ -1,0 +1,204 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Rackoff returns Lemma 5.3's covering-word length bound
+// (‖ρ‖∞ + ‖T‖∞)^(|P|^|P|) for a d-state net: the shortest word covering
+// ρ (when one exists) is no longer than this.
+func Rackoff(d int, normTarget, normNet int64) Magnitude {
+	base := normTarget + normNet
+	exp := new(big.Int).Exp(big.NewInt(int64(d)), big.NewInt(int64(d)), nil)
+	return Pow(base, exp)
+}
+
+// StabilizationH returns Lemma 5.4's threshold
+// h = ‖T‖∞ · (1 + ‖T‖∞)^(|P|^|P|): configurations agreeing with a
+// stabilized ρ on the states below h are stabilized too.
+func StabilizationH(d int, normNet int64) Magnitude {
+	exp := new(big.Int).Exp(big.NewInt(int64(d)), big.NewInt(int64(d)), nil)
+	return Pow(1+normNet, exp).MulInt(normNet)
+}
+
+// Theorem61B returns Theorem 6.1's bound
+// b = (4 + 4‖T‖∞ + 2‖ρ‖∞)^(D·(1 + (2+D)^(d+1))) with D = d^d:
+// the bottom-configuration certificate's word lengths, ‖α‖∞·d, ‖β‖∞·d
+// and component size are all at most b.
+func Theorem61B(d int, normNet, normRho int64) Magnitude {
+	if d == 0 {
+		return FromInt(1)
+	}
+	base := 4 + 4*normNet + 2*normRho
+	bigD := new(big.Int).Exp(big.NewInt(int64(d)), big.NewInt(int64(d)), nil)
+	inner := new(big.Int).Add(big.NewInt(2), bigD) // 2 + d^d
+	inner.Exp(inner, big.NewInt(int64(d)+1), nil)  // (2+d^d)^(d+1)
+	exp := new(big.Int).Add(big.NewInt(1), inner)  // 1 + …
+	exp.Mul(exp, bigD)                             // d^d·(1 + …)
+	return Pow(base, exp)
+}
+
+// Lemma62Length returns Lemma 6.2's word-length bound
+// (1 + d·(1 + s‖T‖∞ + ‖ρ‖∞)^(d^d))·s where d = |P∖Q| and s is the
+// cardinal of the T|Q-component.
+func Lemma62Length(d int, s, normNet, normRho int64) Magnitude {
+	if d == 0 {
+		return FromInt(s)
+	}
+	base := 1 + s*normNet + normRho
+	exp := new(big.Int).Exp(big.NewInt(int64(d)), big.NewInt(int64(d)), nil)
+	inner := Pow(base, exp).MulInt(int64(d))
+	if e, ok := inner.Exact(); ok {
+		out := new(big.Int).Add(big.NewInt(1), e)
+		out.Mul(out, big.NewInt(s))
+		if bigLog10(out) <= MaxExactDigits {
+			return FromBig(out)
+		}
+		return FromLog10(bigLog10(out))
+	}
+	return inner.MulInt(s)
+}
+
+// Lemma72CycleLength returns Lemma 7.2's total-cycle length bound
+// |E|·|S| for a strongly connected Petri net with control-states.
+func Lemma72CycleLength(edges, states int) int64 {
+	return int64(edges) * int64(states)
+}
+
+// Pottier returns the bound of Pottier's theorem as used in Lemma 7.3:
+// every minimal solution (α, β) of the linear system (1) satisfies
+// ‖α‖₁ + ‖β‖₁ ≤ (2 + Σ_a ‖a‖∞)^d.
+func Pottier(d int, sumNormInf int64) Magnitude {
+	return PowInt(2+sumNormInf, int64(d))
+}
+
+// Lemma73MulticycleLength returns Lemma 7.3's bound on the replacement
+// multicycle: |Θ'| ≤ (|E| + d)·(1 + 2|S|‖T‖∞)^(d(d+1)).
+func Lemma73MulticycleLength(d, edges int, states int64, normNet int64) Magnitude {
+	return PowInt(1+2*states*normNet, int64(d)*(int64(d)+1)).MulInt(int64(edges) + int64(d))
+}
+
+// Section8 holds the cascade of quantities defined at the start of
+// Section 8, all driven by d = |P|, ‖T‖∞ and ‖ρ_L‖∞.
+type Section8 struct {
+	D       int
+	NormNet int64
+	NormL   int64
+
+	B Magnitude // b: Theorem 6.1 bound on P' = P∖I (d−1 states)
+	H Magnitude // h = d(1+‖T‖∞)·b
+	K Magnitude // k = d·h^(d²+d+1)
+	A Magnitude // a = h^(2d+3)
+	L Magnitude // ℓ = h^(5d²)
+	N Magnitude // final bound: n ≤ h^(5d²+2d+4)
+}
+
+// NewSection8 evaluates the cascade. d must be ≥ 2 (the paper handles
+// d ≤ 1 separately: a 1-state protocol only computes i ≥ 1).
+func NewSection8(d int, normNet, normL int64) (*Section8, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("bounds: Section 8 cascade needs d ≥ 2, got %d", d)
+	}
+	s := &Section8{D: d, NormNet: normNet, NormL: normL}
+
+	// b = (4+4‖T‖∞+2‖ρL‖∞)^((d−1)^(d−1)·(1+(2+(d−1)^(d−1))^d))
+	dm1 := int64(d - 1)
+	bigD := new(big.Int).Exp(big.NewInt(dm1), big.NewInt(dm1), nil)
+	inner := new(big.Int).Add(big.NewInt(2), bigD)
+	inner.Exp(inner, big.NewInt(int64(d)), nil)
+	exp := new(big.Int).Add(big.NewInt(1), inner)
+	exp.Mul(exp, bigD)
+	s.B = Pow(4+4*normNet+2*normL, exp)
+
+	// h = d(1+‖T‖∞)·b
+	s.H = s.B.MulInt(int64(d) * (1 + normNet))
+
+	// The remaining quantities are h to various polynomial powers.
+	hPow := func(e int64) Magnitude {
+		if exact, ok := s.H.Exact(); ok {
+			return PowMagBase(exact, e)
+		}
+		return FromLog10(s.H.Log10() * float64(e))
+	}
+	dd := int64(d)
+	s.K = hPow(dd*dd + dd + 1).MulInt(dd)
+	s.A = hPow(2*dd + 3)
+	s.L = hPow(5 * dd * dd)
+	s.N = hPow(5*dd*dd + 2*dd + 4)
+	return s, nil
+}
+
+// PowMagBase raises an exact big base to an int64 power, degrading to
+// log10 when too large.
+func PowMagBase(base *big.Int, e int64) Magnitude {
+	logResult := bigLog10(base) * float64(e)
+	if logResult <= MaxExactDigits {
+		return FromBig(new(big.Int).Exp(base, big.NewInt(e), nil))
+	}
+	return FromLog10(logResult)
+}
+
+// Theorem43MaxN returns the headline bound of Theorem 4.3: every
+// protocol with d states, interaction-width w and leader count L that
+// stably computes (i ≥ n) satisfies
+//
+//	n ≤ (4 + 4w + 2L)^(d^((d+2)²)).
+//
+// (The exponent is d to the power (d+2)², as the Corollary 4.4 proof
+// makes explicit via d^((d+2)²) ≤ 2^((d+2)^(2+ε)).)
+func Theorem43MaxN(d int, width, leaders int64) Magnitude {
+	exp := new(big.Int).Exp(big.NewInt(int64(d)), big.NewInt((int64(d)+2)*(int64(d)+2)), nil)
+	return Pow(4+4*width+2*leaders, exp)
+}
+
+// MinStatesTheorem43 returns the least d for which Theorem 4.3 permits
+// deciding (i ≥ n), given log10(n) and the width/leader bound m: the
+// state-complexity lower bound implied by the theorem, exact rather
+// than asymptotic. It uses the tight base 4+4m+2m.
+func MinStatesTheorem43(log10N float64, m int64) int {
+	if log10N <= 0 {
+		return 1
+	}
+	base := float64(4 + 6*m)
+	logNeed := math.Log10(log10N / math.Log10(base)) // want (d+2)²·log10(d) ≥ this
+	for d := 1; ; d++ {
+		lhs := float64(d+2) * float64(d+2) * math.Log10(float64(d))
+		if lhs >= logNeed-1e-9 {
+			return d
+		}
+	}
+}
+
+// Corollary44LowerBound returns the asymptotic lower bound of
+// Corollary 4.4 evaluated concretely:
+//
+//	states ≥ ((log log n − log log 10m) / log 2)^h − 2
+//
+// with all logarithms base 2 and n given as log2(n). Inputs where the
+// inner difference is non-positive yield 0 (the bound is vacuous there).
+func Corollary44LowerBound(log2N float64, h float64, m int64) float64 {
+	if log2N <= 1 {
+		return 0
+	}
+	loglogN := math.Log2(log2N)
+	loglog10m := math.Log2(math.Log2(float64(10 * m)))
+	diff := loglogN - loglog10m
+	if diff <= 0 {
+		return 0
+	}
+	v := math.Pow(diff, h) - 2
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// BEJUpperBoundStates returns the O(log log n) upper-bound shape of
+// Blondin–Esparza–Jaax for the tower values n = 2^(2^k): c·k + c0
+// states. The constants match the counting.NewTower construction so E3
+// can plot both curves from one place.
+func BEJUpperBoundStates(k int, perLevel, constant int) int {
+	return perLevel*k + constant
+}

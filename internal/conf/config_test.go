@@ -1,0 +1,238 @@
+package conf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var testSpace = MustSpace("i", "p", "q", "r")
+
+// randomConfig converts arbitrary quick-generated values into a valid
+// configuration over testSpace with small non-negative counts.
+func randomConfig(raw [4]int16) Config {
+	c := New(testSpace)
+	for i, n := range raw {
+		v := int64(n)
+		if v < 0 {
+			v = -v
+		}
+		c.v[i] = v % 64
+	}
+	return c
+}
+
+func TestFromMapAndCounts(t *testing.T) {
+	c, err := FromMap(testSpace, map[string]int64{"i": 2, "q": 5})
+	if err != nil {
+		t.Fatalf("FromMap: %v", err)
+	}
+	if got := c.GetName("i"); got != 2 {
+		t.Errorf("i = %d, want 2", got)
+	}
+	if got := c.GetName("q"); got != 5 {
+		t.Errorf("q = %d, want 5", got)
+	}
+	if got := c.Agents(); got != 7 {
+		t.Errorf("Agents = %d, want 7", got)
+	}
+	counts := c.Counts()
+	if len(counts) != 2 || counts["i"] != 2 || counts["q"] != 5 {
+		t.Errorf("Counts = %v", counts)
+	}
+}
+
+func TestFromMapErrors(t *testing.T) {
+	if _, err := FromMap(testSpace, map[string]int64{"zz": 1}); err == nil {
+		t.Error("unknown state accepted")
+	}
+	if _, err := FromMap(testSpace, map[string]int64{"i": -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := MustUnit(testSpace, "p")
+	if u.Agents() != 1 || u.GetName("p") != 1 {
+		t.Fatalf("Unit(p) = %v", u)
+	}
+	if _, err := Unit(testSpace, "nope"); err == nil {
+		t.Error("Unit of unknown state accepted")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := MustFromMap(testSpace, map[string]int64{"i": 3, "p": 1})
+	b := MustFromMap(testSpace, map[string]int64{"i": 1, "q": 2})
+	sum := a.Add(b)
+	if sum.GetName("i") != 4 || sum.GetName("p") != 1 || sum.GetName("q") != 2 {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, ok := sum.Sub(b)
+	if !ok || !diff.Equal(a) {
+		t.Fatalf("Sub round-trip = %v, %v", diff, ok)
+	}
+	if _, ok := a.Sub(b); ok {
+		t.Error("Sub below zero succeeded")
+	}
+}
+
+func TestLeqEqual(t *testing.T) {
+	a := MustFromMap(testSpace, map[string]int64{"i": 1})
+	b := MustFromMap(testSpace, map[string]int64{"i": 2, "p": 1})
+	if !a.Leq(b) {
+		t.Error("a ≤ b expected")
+	}
+	if b.Leq(a) {
+		t.Error("b ≤ a unexpected")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not Equal")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	c := MustFromMap(testSpace, map[string]int64{"i": 2, "p": 3})
+	q := MustSpace("p", "z") // z is outside the source space
+	r := c.Restrict(q)
+	if r.GetName("p") != 3 {
+		t.Errorf("restricted p = %d, want 3", r.GetName("p"))
+	}
+	if r.GetName("z") != 0 {
+		t.Errorf("restricted z = %d, want 0", r.GetName("z"))
+	}
+	if r.Agents() != 3 {
+		t.Errorf("restricted agents = %d, want 3", r.Agents())
+	}
+}
+
+func TestEmbed(t *testing.T) {
+	small := MustSpace("p", "q")
+	c := MustFromMap(small, map[string]int64{"p": 2})
+	e, err := c.Embed(testSpace)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	if e.GetName("p") != 2 || e.Agents() != 2 {
+		t.Fatalf("Embed = %v", e)
+	}
+	other := MustSpace("w")
+	w := MustUnit(other, "w")
+	if _, err := w.Embed(testSpace); err == nil {
+		t.Error("Embed of foreign state accepted")
+	}
+}
+
+func TestZeroOutside(t *testing.T) {
+	c := MustFromMap(testSpace, map[string]int64{"p": 1})
+	keep := make([]bool, testSpace.Len())
+	iP, _ := testSpace.Index("p")
+	keep[iP] = true
+	if !c.ZeroOutside(keep) {
+		t.Error("ZeroOutside false, want true")
+	}
+	keep[iP] = false
+	if c.ZeroOutside(keep) {
+		t.Error("ZeroOutside true, want false")
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	a := MustFromMap(testSpace, map[string]int64{"i": 1})
+	b := MustFromMap(testSpace, map[string]int64{"p": 1})
+	if a.Key() == b.Key() {
+		t.Error("distinct configs share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Error("clone has different key")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(testSpace).String(); got != "0" {
+		t.Errorf("zero config String = %q, want 0", got)
+	}
+	c := MustFromMap(testSpace, map[string]int64{"i": 2, "p": 1})
+	if got := c.String(); got != "2·i + p" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestWithName(t *testing.T) {
+	c := MustFromMap(testSpace, map[string]int64{"i": 2})
+	d, err := c.WithName("p", 7)
+	if err != nil {
+		t.Fatalf("WithName: %v", err)
+	}
+	if d.GetName("p") != 7 || c.GetName("p") != 0 {
+		t.Error("WithName mutated receiver or failed to set")
+	}
+	if _, err := c.WithName("nope", 1); err == nil {
+		t.Error("WithName unknown state accepted")
+	}
+	if _, err := c.WithName("p", -1); err == nil {
+		t.Error("WithName negative accepted")
+	}
+}
+
+// Property: Add is commutative and associative; Sub inverts Add.
+func TestQuickAddLaws(t *testing.T) {
+	commutes := func(x, y [4]int16) bool {
+		a, b := randomConfig(x), randomConfig(y)
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Errorf("Add not commutative: %v", err)
+	}
+	assoc := func(x, y, z [4]int16) bool {
+		a, b, c := randomConfig(x), randomConfig(y), randomConfig(z)
+		return a.Add(b).Add(c).Equal(a.Add(b.Add(c)))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("Add not associative: %v", err)
+	}
+	inverts := func(x, y [4]int16) bool {
+		a, b := randomConfig(x), randomConfig(y)
+		d, ok := a.Add(b).Sub(b)
+		return ok && d.Equal(a)
+	}
+	if err := quick.Check(inverts, nil); err != nil {
+		t.Errorf("Sub does not invert Add: %v", err)
+	}
+}
+
+// Property: ≤ is monotone under Add, and Restrict is linear.
+func TestQuickOrderAndRestrict(t *testing.T) {
+	mono := func(x, y [4]int16) bool {
+		a, b := randomConfig(x), randomConfig(y)
+		return a.Leq(a.Add(b))
+	}
+	if err := quick.Check(mono, nil); err != nil {
+		t.Errorf("≤ not monotone: %v", err)
+	}
+	sub := MustSpace("p", "r")
+	linear := func(x, y [4]int16) bool {
+		a, b := randomConfig(x), randomConfig(y)
+		return a.Add(b).Restrict(sub).Equal(a.Restrict(sub).Add(b.Restrict(sub)))
+	}
+	if err := quick.Check(linear, nil); err != nil {
+		t.Errorf("Restrict not linear: %v", err)
+	}
+}
+
+// Property: norms behave as expected.
+func TestQuickNorms(t *testing.T) {
+	norm := func(x [4]int16) bool {
+		a := randomConfig(x)
+		return a.NormInf() <= a.Agents() && (a.IsZero() == (a.Agents() == 0))
+	}
+	if err := quick.Check(norm, nil); err != nil {
+		t.Errorf("norm laws: %v", err)
+	}
+	scale := func(x [4]int16) bool {
+		a := randomConfig(x)
+		return a.Scale(3).Agents() == 3*a.Agents()
+	}
+	if err := quick.Check(scale, nil); err != nil {
+		t.Errorf("Scale law: %v", err)
+	}
+}

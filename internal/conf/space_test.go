@@ -1,0 +1,103 @@
+package conf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSpace(t *testing.T) {
+	s, err := NewSpace("i", "p", "q")
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	for want, name := range []string{"i", "p", "q"} {
+		got, ok := s.Index(name)
+		if !ok || got != want {
+			t.Errorf("Index(%q) = %d,%v, want %d,true", name, got, ok, want)
+		}
+		if s.Name(want) != name {
+			t.Errorf("Name(%d) = %q, want %q", want, s.Name(want), name)
+		}
+	}
+	if s.Contains("z") {
+		t.Error("Contains(z) = true, want false")
+	}
+}
+
+func TestNewSpaceErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input []string
+	}{
+		{"duplicate", []string{"a", "b", "a"}},
+		{"empty name", []string{"a", ""}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewSpace(tc.input...); err == nil {
+				t.Fatalf("NewSpace(%v) succeeded, want error", tc.input)
+			}
+		})
+	}
+}
+
+func TestMustSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSpace with duplicates did not panic")
+		}
+	}()
+	MustSpace("a", "a")
+}
+
+func TestSpaceSub(t *testing.T) {
+	s := MustSpace("a", "b", "c")
+	sub, err := s.Sub("c", "a")
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if sub.Len() != 2 || sub.Name(0) != "c" || sub.Name(1) != "a" {
+		t.Fatalf("Sub = %v, want {c, a}", sub)
+	}
+	if _, err := s.Sub("z"); err == nil {
+		t.Fatal("Sub(z) succeeded, want error")
+	}
+}
+
+func TestSpaceEqual(t *testing.T) {
+	a := MustSpace("x", "y")
+	b := MustSpace("x", "y")
+	c := MustSpace("y", "x")
+	if !a.Equal(b) {
+		t.Error("identical spaces not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("reordered spaces Equal")
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	s := MustSpace("a", "b")
+	if got := s.String(); !strings.Contains(got, "a") || !strings.Contains(got, "b") {
+		t.Errorf("String = %q, want both names present", got)
+	}
+}
+
+func TestSpaceNamesIsCopy(t *testing.T) {
+	s := MustSpace("a", "b")
+	names := s.Names()
+	names[0] = "mutated"
+	if s.Name(0) != "a" {
+		t.Error("Names() exposed internal slice")
+	}
+}
+
+func TestNilSpaceLen(t *testing.T) {
+	var s *Space
+	if s.Len() != 0 {
+		t.Error("nil space Len != 0")
+	}
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/graph"
+	"repro/internal/petri"
+)
+
+// Component returns the T-component of ρ: the configurations β with
+// ρ —T*→ β —T*→ ρ (Section 6). It requires a complete forward closure
+// and errs (wrapping petri.ErrBudget) otherwise: a truncated closure
+// cannot certify mutual reachability.
+func Component(net *petri.Net, rho conf.Config, budget petri.Budget) ([]conf.Config, error) {
+	rs, err := net.Reach(rho, budget)
+	if err != nil {
+		return nil, fmt.Errorf("component: %w", err)
+	}
+	adj := rs.AdjacencyLists()
+	comp, ncomp := graph.SCC(adj)
+	members := graph.Members(comp, ncomp)
+	rootComp := comp[0] // node 0 is ρ itself
+	out := make([]conf.Config, 0, len(members[rootComp]))
+	for _, id := range members[rootComp] {
+		out = append(out, rs.Config(id))
+	}
+	return out, nil
+}
+
+// IsBottom reports whether ρ is T-bottom: its component is finite and
+// every reachable β can reach back to ρ (Section 6). Over a complete
+// closure this says ρ's SCC is the whole closure. For configurations
+// with infinite closures the check errs on budget rather than guessing.
+func IsBottom(net *petri.Net, rho conf.Config, budget petri.Budget) (bool, error) {
+	rs, err := net.Reach(rho, budget)
+	if err != nil {
+		return false, fmt.Errorf("bottom check: %w", err)
+	}
+	adj := rs.AdjacencyLists()
+	_, ncomp := graph.SCC(adj)
+	// ρ is bottom iff every reachable configuration is mutually
+	// reachable with ρ, i.e. the whole (finite) closure is one SCC.
+	return ncomp == 1, nil
+}
+
+// BottomCert is a witness for Theorem 6.1: words σ, w, a state subset Q
+// and configurations α, β with
+//
+//	ρ —σ→ α —w→ β,  α|Q = β|Q,  α(p) < β(p) for p ∈ P∖Q,
+//	α|Q is T|Q-bottom, and the T|Q-component of α|Q is small.
+type BottomCert struct {
+	// Sigma is the word σ with ρ —σ→ α (transition indices of the net).
+	Sigma []int
+	// W is the word w with α —w→ β.
+	W []int
+	// Q is the subset of states on which α is a bottom configuration.
+	Q []string
+	// Alpha and Beta are the witnessed configurations.
+	Alpha, Beta conf.Config
+	// ComponentSize is the cardinal of the T|Q-component of α|Q.
+	ComponentSize int
+}
+
+// ErrNoBottom is returned when the bounded search cannot produce a
+// certificate; Theorem 6.1 guarantees one exists, so hitting this means
+// the search budget was too small for the instance.
+var ErrNoBottom = errors.New("core: bottom-configuration search exhausted without certificate")
+
+// ReachBottomOptions tunes the certificate search.
+type ReachBottomOptions struct {
+	// Closure budget for the top-level forward exploration from ρ.
+	Budget petri.Budget
+	// SubBudget bounds the T|Q closures used for bottom checks. Zero
+	// applies Budget.
+	SubBudget petri.Budget
+	// PumpDepth bounds the BFS searching for the pumping word w. Zero
+	// means 4·|P|.
+	PumpDepth int
+	// MaxCandidates bounds how many visited α are tried. Zero means all.
+	MaxCandidates int
+}
+
+// ReachBottom searches constructively for a Theorem 6.1 certificate.
+//
+// Bounded instances: the closure from ρ is complete, so a reachable
+// bottom SCC gives α with Q = P, w = ε. Unbounded instances: the
+// Karp–Miller tree supplies pumpable place sets P∖Q; for each visited α
+// whose restriction α|Q is T|Q-bottom, a short pumping word w with
+// β|Q = α|Q and β > α outside Q is searched breadth-first.
+//
+// Every returned certificate is verified by VerifyBottomCert before
+// being handed to the caller.
+func ReachBottom(net *petri.Net, rho conf.Config, opts ReachBottomOptions) (*BottomCert, error) {
+	space := net.Space()
+	rs, reachErr := net.Reach(rho, opts.Budget)
+	if reachErr != nil && rs == nil {
+		return nil, reachErr
+	}
+
+	if reachErr == nil {
+		// Complete closure: Q = P and any reachable bottom-SCC member is
+		// a T-bottom configuration.
+		cert, err := bottomFromCompleteClosure(net, rs)
+		if err != nil {
+			return nil, err
+		}
+		if err := VerifyBottomCert(net, rho, cert, opts.subBudget()); err != nil {
+			return nil, fmt.Errorf("core: internal: bounded certificate failed verification: %w", err)
+		}
+		return cert, nil
+	}
+
+	// Unbounded (or too large): derive candidate Q sets from Karp–Miller
+	// pumpable places.
+	tree, err := net.KarpMiller(rho, opts.Budget.MaxConfigs)
+	if err != nil {
+		return nil, fmt.Errorf("reach-bottom: %w", err)
+	}
+	var candidates [][]bool
+	for _, omega := range tree.PumpableSets() {
+		mask := make([]bool, space.Len())
+		for i := range mask {
+			mask[i] = true
+		}
+		for _, p := range omega {
+			mask[p] = false // pumpable places leave Q
+		}
+		candidates = append(candidates, mask)
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoBottom
+	}
+
+	pumpDepth := opts.PumpDepth
+	if pumpDepth <= 0 {
+		pumpDepth = 4 * space.Len()
+	}
+	maxCand := opts.MaxCandidates
+	if maxCand <= 0 {
+		maxCand = rs.Len()
+	}
+
+	bottomMemo := make(map[string]bool)
+	for id := 0; id < rs.Len() && id < maxCand; id++ {
+		alpha := rs.Config(id)
+		for _, mask := range candidates {
+			qSpace, err := subSpace(space, mask)
+			if err != nil {
+				return nil, err
+			}
+			netQ, err := net.Restrict(qSpace)
+			if err != nil {
+				return nil, err
+			}
+			alphaQ := alpha.Restrict(qSpace)
+			memoKey := qSpace.String() + "#" + alphaQ.Key()
+			isBot, seen := bottomMemo[memoKey]
+			if !seen {
+				b, err := IsBottom(netQ, alphaQ, opts.subBudget())
+				if err != nil {
+					// Closure too large to certify bottomness: treat as
+					// not bottom for search purposes.
+					b = false
+				}
+				isBot = b
+				bottomMemo[memoKey] = b
+			}
+			if !isBot {
+				continue
+			}
+			w, beta, found := findPumpWord(net, alpha, mask, pumpDepth, opts.subBudget())
+			if !found {
+				continue
+			}
+			cert := &BottomCert{
+				Sigma:         rs.PathTo(id),
+				W:             w,
+				Q:             spaceNamesFromMask(space, mask),
+				Alpha:         alpha,
+				Beta:          beta,
+				ComponentSize: 0,
+			}
+			comp, err := Component(netQ, alphaQ, opts.subBudget())
+			if err != nil {
+				return nil, err
+			}
+			cert.ComponentSize = len(comp)
+			if err := VerifyBottomCert(net, rho, cert, opts.subBudget()); err != nil {
+				return nil, fmt.Errorf("core: internal: pumping certificate failed verification: %w", err)
+			}
+			return cert, nil
+		}
+	}
+	return nil, ErrNoBottom
+}
+
+func (o ReachBottomOptions) subBudget() petri.Budget {
+	if o.SubBudget == (petri.Budget{}) {
+		return o.Budget
+	}
+	return o.SubBudget
+}
+
+// bottomFromCompleteClosure picks the closest reachable bottom-SCC
+// configuration as α, with Q = P and w = ε.
+func bottomFromCompleteClosure(net *petri.Net, rs *petri.ReachSet) (*BottomCert, error) {
+	adj := rs.AdjacencyLists()
+	comp, ncomp := graph.SCC(adj)
+	cond := graph.Condense(adj, comp, ncomp)
+	bottoms := graph.BottomComponents(cond)
+	isBottom := make([]bool, ncomp)
+	for _, b := range bottoms {
+		isBottom[b] = true
+	}
+	// BFS order = increasing depth, so the first node in a bottom SCC
+	// has a shortest σ.
+	best := -1
+	for id := 0; id < rs.Len(); id++ {
+		if isBottom[comp[id]] {
+			best = id
+			break
+		}
+	}
+	if best < 0 {
+		return nil, errors.New("core: internal: complete closure has no bottom SCC")
+	}
+	alpha := rs.Config(best)
+	members := graph.Members(comp, ncomp)
+	return &BottomCert{
+		Sigma:         rs.PathTo(best),
+		W:             nil,
+		Q:             net.Space().Names(),
+		Alpha:         alpha,
+		Beta:          alpha,
+		ComponentSize: len(members[comp[best]]),
+	}, nil
+}
+
+// findPumpWord searches breadth-first from α for a word w with
+// β|Q = α|Q and β(p) > α(p) for every p outside Q.
+func findPumpWord(net *petri.Net, alpha conf.Config, qMask []bool, maxDepth int, budget petri.Budget) ([]int, conf.Config, bool) {
+	type node struct {
+		cfg    conf.Config
+		parent int
+		via    int
+		depth  int
+	}
+	matchesQ := func(c conf.Config) bool {
+		for i, inQ := range qMask {
+			if inQ && c.Get(i) != alpha.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	pumped := func(c conf.Config) bool {
+		for i, inQ := range qMask {
+			if !inQ && c.Get(i) <= alpha.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	nodes := []node{{cfg: alpha, parent: -1, via: -1}}
+	seen := map[string]bool{alpha.Key(): true}
+	maxConfigs := budget.MaxConfigs
+	if maxConfigs <= 0 {
+		maxConfigs = petri.DefaultMaxConfigs
+	}
+	for head := 0; head < len(nodes); head++ {
+		cur := nodes[head]
+		if cur.depth >= maxDepth {
+			continue
+		}
+		for ti := 0; ti < net.Len(); ti++ {
+			next, ok := net.At(ti).Fire(cur.cfg)
+			if !ok {
+				continue
+			}
+			if seen[next.Key()] {
+				continue
+			}
+			seen[next.Key()] = true
+			nodes = append(nodes, node{cfg: next, parent: head, via: ti, depth: cur.depth + 1})
+			if matchesQ(next) && pumped(next) {
+				var rev []int
+				for i := len(nodes) - 1; nodes[i].parent >= 0; i = nodes[i].parent {
+					rev = append(rev, nodes[i].via)
+				}
+				for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+					rev[a], rev[b] = rev[b], rev[a]
+				}
+				return rev, next, true
+			}
+			if len(nodes) >= maxConfigs {
+				return nil, conf.Config{}, false
+			}
+		}
+	}
+	return nil, conf.Config{}, false
+}
+
+// VerifyBottomCert replays and checks every clause of a Theorem 6.1
+// certificate against the net, returning the first violation.
+func VerifyBottomCert(net *petri.Net, rho conf.Config, cert *BottomCert, budget petri.Budget) error {
+	if cert == nil {
+		return errors.New("core: nil certificate")
+	}
+	space := net.Space()
+	alpha, err := net.FireWord(rho, cert.Sigma)
+	if err != nil {
+		return fmt.Errorf("replay σ: %w", err)
+	}
+	if !alpha.Equal(cert.Alpha) {
+		return fmt.Errorf("core: σ leads to %v, certificate says α = %v", alpha, cert.Alpha)
+	}
+	beta, err := net.FireWord(alpha, cert.W)
+	if err != nil {
+		return fmt.Errorf("replay w: %w", err)
+	}
+	if !beta.Equal(cert.Beta) {
+		return fmt.Errorf("core: w leads to %v, certificate says β = %v", beta, cert.Beta)
+	}
+	qSpace, err := space.Sub(cert.Q...)
+	if err != nil {
+		return err
+	}
+	if !alpha.Restrict(qSpace).Equal(beta.Restrict(qSpace)) {
+		return errors.New("core: α|Q ≠ β|Q")
+	}
+	inQ := make(map[string]bool, len(cert.Q))
+	for _, q := range cert.Q {
+		inQ[q] = true
+	}
+	for i := 0; i < space.Len(); i++ {
+		if inQ[space.Name(i)] {
+			continue
+		}
+		if alpha.Get(i) >= beta.Get(i) {
+			return fmt.Errorf("core: state %q not pumped: α=%d β=%d", space.Name(i), alpha.Get(i), beta.Get(i))
+		}
+	}
+	netQ, err := net.Restrict(qSpace)
+	if err != nil {
+		return err
+	}
+	bot, err := IsBottom(netQ, alpha.Restrict(qSpace), budget)
+	if err != nil {
+		return err
+	}
+	if !bot {
+		return errors.New("core: α|Q is not T|Q-bottom")
+	}
+	comp, err := Component(netQ, alpha.Restrict(qSpace), budget)
+	if err != nil {
+		return err
+	}
+	if len(comp) != cert.ComponentSize {
+		return fmt.Errorf("core: component size %d, certificate says %d", len(comp), cert.ComponentSize)
+	}
+	return nil
+}
+
+func subSpace(space *conf.Space, mask []bool) (*conf.Space, error) {
+	return space.Sub(spaceNamesFromMask(space, mask)...)
+}
+
+func spaceNamesFromMask(space *conf.Space, mask []bool) []string {
+	var names []string
+	for i, in := range mask {
+		if in {
+			names = append(names, space.Name(i))
+		}
+	}
+	return names
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/petri"
+)
+
+// IsStabilized reports whether ρ is (T,F)-stabilized: every β with
+// ρ —T*→ β has β(p) = 0 for every state p outside F (Section 5). keep is
+// the mask of F over state indices.
+//
+// The check explores the forward closure of ρ; an incomplete closure is
+// an error (wrapped petri.ErrBudget), never a silent verdict.
+func IsStabilized(net *petri.Net, keep []bool, rho conf.Config, budget petri.Budget) (bool, error) {
+	if len(keep) != net.Space().Len() {
+		return false, errors.New("core: keep mask length mismatch")
+	}
+	// Fast refutation: ρ itself violates the condition.
+	if !rho.ZeroOutside(keep) {
+		return false, nil
+	}
+	rs, err := net.Reach(rho, budget)
+	if err != nil {
+		// A violation found before the budget ran out is still a
+		// definitive "no".
+		if rs != nil {
+			violated := false
+			rs.ForEach(func(_ int, c conf.Config) bool {
+				if !c.ZeroOutside(keep) {
+					violated = true
+					return false
+				}
+				return true
+			})
+			if violated {
+				return false, nil
+			}
+		}
+		return false, fmt.Errorf("stabilization check: %w", err)
+	}
+	ok := true
+	rs.ForEach(func(_ int, c conf.Config) bool {
+		if !c.ZeroOutside(keep) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok, nil
+}
+
+// IsOutputStable reports whether the configuration belongs to S_j for
+// j ∈ {0, 1} (Section 2):
+//
+//	S_0 = {α : ∀β, α →* β ⟹ γ(β) ⊆ {0}}
+//	S_1 = {α : ∀β, α →* β ⟹ γ(β) = {1}}
+//
+// Note the asymmetry: the zero configuration (empty output set) is
+// 0-output stable but not 1-output stable.
+func (p *Protocol) IsOutputStable(c conf.Config, out Output, budget petri.Budget) (bool, error) {
+	if out != Out0 && out != Out1 {
+		return false, fmt.Errorf("core: output-stability is defined for 0 and 1, not %v", out)
+	}
+	violates := func(s OutputSet) bool {
+		if out == Out0 {
+			return s&(SetStar|Set1) != 0
+		}
+		return s != Set1
+	}
+	if violates(p.OutputOf(c)) {
+		return false, nil
+	}
+	rs, err := p.net.Reach(c, budget)
+	if err != nil {
+		if rs != nil {
+			violated := false
+			rs.ForEach(func(_ int, b conf.Config) bool {
+				if violates(p.OutputOf(b)) {
+					violated = true
+					return false
+				}
+				return true
+			})
+			if violated {
+				return false, nil
+			}
+		}
+		return false, fmt.Errorf("output-stability check: %w", err)
+	}
+	stable := true
+	rs.ForEach(func(_ int, b conf.Config) bool {
+		if violates(p.OutputOf(b)) {
+			stable = false
+			return false
+		}
+		return true
+	})
+	return stable, nil
+}
+
+// Lemma51Holds checks Lemma 5.1 on a concrete configuration: with
+// F = γ⁻¹({0}), ρ is (T,F)-stabilized iff it is 0-output stable. It
+// returns an error if the two sides disagree (which would falsify the
+// implementation, not the paper).
+func (p *Protocol) Lemma51Holds(rho conf.Config, budget petri.Budget) error {
+	keep, err := p.KeepMask(p.OutputStates(Out0))
+	if err != nil {
+		return err
+	}
+	stab, err := IsStabilized(p.net, keep, rho, budget)
+	if err != nil {
+		return err
+	}
+	os, err := p.IsOutputStable(rho, Out0, budget)
+	if err != nil {
+		return err
+	}
+	if stab != os {
+		return fmt.Errorf("core: Lemma 5.1 violated at %v: stabilized=%v output-stable=%v", rho, stab, os)
+	}
+	return nil
+}
+
+// SmallValuesR returns the mask of R = {p ∈ P : ρ(p) < h}, the "small
+// values" of ρ at threshold h (Lemma 5.4).
+func SmallValuesR(rho conf.Config, h int64) []bool {
+	mask := make([]bool, rho.Space().Len())
+	for i := range mask {
+		mask[i] = rho.Get(i) < h
+	}
+	return mask
+}
+
+// CheckSmallValues verifies the conclusion of Lemma 5.4 on concrete
+// pump vectors: for a (T,F)-stabilized ρ and R = {p : ρ(p) < h}, every α
+// with α|R ≤ ρ|R must be stabilized too. Each pump must be supported
+// outside R (so that α = ρ + pump satisfies α|R ≤ ρ|R); the function
+// also tests α = ρ|R-preserving reductions implicitly through the pumps
+// given. It returns the first violation found, or nil if all pumped
+// configurations are stabilized.
+func CheckSmallValues(net *petri.Net, keep []bool, rho conf.Config, h int64, pumps []conf.Config, budget petri.Budget) error {
+	stab, err := IsStabilized(net, keep, rho, budget)
+	if err != nil {
+		return err
+	}
+	if !stab {
+		return errors.New("core: CheckSmallValues requires a stabilized ρ")
+	}
+	r := SmallValuesR(rho, h)
+	for _, pump := range pumps {
+		for i, small := range r {
+			if small && pump.Get(i) != 0 {
+				return fmt.Errorf("core: pump %v touches small-value state %q", pump, rho.Space().Name(i))
+			}
+		}
+		alpha := rho.Add(pump)
+		ok, err := IsStabilized(net, keep, alpha, budget)
+		if err != nil {
+			return fmt.Errorf("pumped %v: %w", alpha, err)
+		}
+		if !ok {
+			return fmt.Errorf("core: Lemma 5.4 characterization violated: %v stabilized but %v is not (h=%d)", rho, alpha, h)
+		}
+	}
+	return nil
+}
+
+// MinimalCharacterizationH measures the least threshold h ∈ [1, maxH]
+// such that the Lemma 5.4 characterization holds for ρ with pump vectors
+// pumpUnit scaled 1..maxScale on every state outside R_h. It returns 0
+// with no error when no h ≤ maxH works. This is the measured quantity
+// E9 compares against the paper's (astronomically larger) formula
+// h ≥ ‖T‖∞(1+‖T‖∞)^(|P|^|P|).
+func MinimalCharacterizationH(net *petri.Net, keep []bool, rho conf.Config, maxH int64, maxScale int64, budget petri.Budget) (int64, error) {
+	stab, err := IsStabilized(net, keep, rho, budget)
+	if err != nil {
+		return 0, err
+	}
+	if !stab {
+		return 0, errors.New("core: MinimalCharacterizationH requires a stabilized ρ")
+	}
+	space := rho.Space()
+	for h := int64(1); h <= maxH; h++ {
+		r := SmallValuesR(rho, h)
+		holds := true
+		for i := 0; i < space.Len() && holds; i++ {
+			if r[i] {
+				continue
+			}
+			unit := conf.MustUnit(space, space.Name(i))
+			for scale := int64(1); scale <= maxScale; scale++ {
+				alpha := rho.Add(unit.Scale(scale))
+				ok, err := IsStabilized(net, keep, alpha, budget)
+				if err != nil {
+					return 0, fmt.Errorf("h=%d pump %v: %w", h, alpha, err)
+				}
+				if !ok {
+					holds = false
+					break
+				}
+			}
+		}
+		if holds {
+			return h, nil
+		}
+	}
+	return 0, nil
+}

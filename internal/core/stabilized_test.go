@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/petri"
+)
+
+func TestIsOutputStable(t *testing.T) {
+	p := example42(t, 2)
+	space := p.Space()
+	budget := petri.Budget{MaxConfigs: 1 << 16}
+
+	tests := []struct {
+		name   string
+		cfg    map[string]int64
+		out    Output
+		stable bool
+	}{
+		// All agents on the 0 side with no i to react with: 0-stable.
+		{"all zero side", map[string]int64{"ib": 2, "pb": 1, "qb": 1}, Out0, true},
+		// All agents on the 1 side with no ib: 1-stable.
+		{"all one side", map[string]int64{"i": 2, "p": 1, "q": 1}, Out1, true},
+		// Mixed i and ib can annihilate and flip: not stable either way.
+		{"mixed", map[string]int64{"i": 1, "ib": 1, "p": 1}, Out1, false},
+		{"mixed 0", map[string]int64{"i": 1, "ib": 1}, Out0, false},
+		// The zero configuration is 0-stable but not 1-stable.
+		{"zero is 0-stable", nil, Out0, true},
+		{"zero not 1-stable", nil, Out1, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := conf.MustFromMap(space, tc.cfg)
+			got, err := p.IsOutputStable(cfg, tc.out, budget)
+			if err != nil {
+				t.Fatalf("IsOutputStable: %v", err)
+			}
+			if got != tc.stable {
+				t.Errorf("IsOutputStable(%v, %v) = %v, want %v", cfg, tc.out, got, tc.stable)
+			}
+		})
+	}
+}
+
+func TestIsOutputStableRejectsStar(t *testing.T) {
+	p := example42(t, 1)
+	if _, err := p.IsOutputStable(conf.New(p.Space()), OutStar, petri.Budget{}); err == nil {
+		t.Fatal("OutStar accepted as stability target")
+	}
+}
+
+func TestIsStabilized(t *testing.T) {
+	p := example42(t, 2)
+	space := p.Space()
+	keep, err := p.KeepMask(p.OutputStates(Out0))
+	if err != nil {
+		t.Fatalf("KeepMask: %v", err)
+	}
+	budget := petri.Budget{MaxConfigs: 1 << 16}
+
+	stab := conf.MustFromMap(space, map[string]int64{"ib": 3, "qb": 2})
+	got, err := IsStabilized(p.Net(), keep, stab, budget)
+	if err != nil || !got {
+		t.Errorf("IsStabilized(all-bar) = %v, %v; want true", got, err)
+	}
+
+	// An agent in i (output 1) immediately violates stabilization.
+	bad := conf.MustFromMap(space, map[string]int64{"ib": 1, "i": 1})
+	got, err = IsStabilized(p.Net(), keep, bad, budget)
+	if err != nil || got {
+		t.Errorf("IsStabilized(mixed) = %v, %v; want false", got, err)
+	}
+}
+
+func TestIsStabilizedMaskMismatch(t *testing.T) {
+	p := example42(t, 1)
+	if _, err := IsStabilized(p.Net(), []bool{true}, conf.New(p.Space()), petri.Budget{}); err == nil {
+		t.Fatal("short mask accepted")
+	}
+}
+
+func TestIsStabilizedBudget(t *testing.T) {
+	// Pumping net: closure infinite, stabilization undecidable within
+	// budget -> error, not a guess.
+	space := conf.MustSpace("a", "b")
+	tr, err := petri.NewTransition("pump", conf.MustUnit(space, "a"),
+		conf.MustFromMap(space, map[string]int64{"a": 1, "b": 1}))
+	if err != nil {
+		t.Fatalf("transition: %v", err)
+	}
+	net, err := petri.New(space, []petri.Transition{tr})
+	if err != nil {
+		t.Fatalf("net: %v", err)
+	}
+	keep := []bool{true, true} // everything allowed: stabilized in truth
+	_, err = IsStabilized(net, keep, conf.MustUnit(space, "a"), petri.Budget{MaxConfigs: 5})
+	if !errors.Is(err, petri.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+
+	// But a violation inside the truncated closure is a definitive no.
+	keepOnlyA := []bool{true, false}
+	got, err := IsStabilized(net, keepOnlyA, conf.MustUnit(space, "a"), petri.Budget{MaxConfigs: 5})
+	if err != nil || got {
+		t.Fatalf("IsStabilized = %v, %v; want false, nil", got, err)
+	}
+}
+
+func TestLemma51OnExample42(t *testing.T) {
+	p := example42(t, 2)
+	space := p.Space()
+	budget := petri.Budget{MaxConfigs: 1 << 16}
+	configs := []map[string]int64{
+		{"ib": 2},
+		{"ib": 2, "i": 1},
+		{"ib": 2, "i": 3},
+		{"pb": 1, "qb": 1},
+		{"p": 1, "q": 1},
+		{"i": 2, "p": 1},
+		nil,
+	}
+	for _, m := range configs {
+		rho := conf.MustFromMap(space, m)
+		if err := p.Lemma51Holds(rho, budget); err != nil {
+			t.Errorf("Lemma 5.1: %v", err)
+		}
+	}
+}
+
+func TestSmallValuesR(t *testing.T) {
+	space := conf.MustSpace("a", "b", "c")
+	rho := conf.MustFromMap(space, map[string]int64{"a": 5, "b": 1})
+	r := SmallValuesR(rho, 3)
+	// a=5 ≥ 3 not small; b=1 < 3 small; c=0 < 3 small.
+	want := []bool{false, true, true}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("R[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+// Lemma 5.4 on Example 4.2: a 0-output-stable configuration with many ib
+// stays stabilized when ib (a large-value state) is pumped further.
+func TestCheckSmallValuesExample42(t *testing.T) {
+	p := example42(t, 2)
+	space := p.Space()
+	keep, err := p.KeepMask(p.OutputStates(Out0))
+	if err != nil {
+		t.Fatalf("KeepMask: %v", err)
+	}
+	budget := petri.Budget{MaxConfigs: 1 << 16}
+
+	rho := conf.MustFromMap(space, map[string]int64{"ib": 4, "pb": 1, "qb": 1})
+	h := int64(2) // measured threshold: states with ρ(p) ≥ 2 are pumpable
+	pumps := []conf.Config{
+		conf.MustFromMap(space, map[string]int64{"ib": 3}),
+		conf.MustFromMap(space, map[string]int64{"ib": 10}),
+	}
+	if err := CheckSmallValues(p.Net(), keep, rho, h, pumps, budget); err != nil {
+		t.Errorf("CheckSmallValues: %v", err)
+	}
+
+	// A pump touching a small-value state must be rejected as misuse.
+	badPump := []conf.Config{conf.MustFromMap(space, map[string]int64{"i": 1})}
+	if err := CheckSmallValues(p.Net(), keep, rho, h, badPump, budget); err == nil {
+		t.Error("pump on small-value state accepted")
+	}
+
+	// Requires a stabilized ρ.
+	unstable := conf.MustFromMap(space, map[string]int64{"i": 1, "ib": 1})
+	if err := CheckSmallValues(p.Net(), keep, unstable, h, nil, budget); err == nil {
+		t.Error("unstabilized ρ accepted")
+	}
+}
+
+func TestMinimalCharacterizationH(t *testing.T) {
+	p := example42(t, 2)
+	space := p.Space()
+	keep, err := p.KeepMask(p.OutputStates(Out0))
+	if err != nil {
+		t.Fatalf("KeepMask: %v", err)
+	}
+	budget := petri.Budget{MaxConfigs: 1 << 16}
+	rho := conf.MustFromMap(space, map[string]int64{"ib": 4, "pb": 1, "qb": 1})
+
+	h, err := MinimalCharacterizationH(p.Net(), keep, rho, 10, 3, budget)
+	if err != nil {
+		t.Fatalf("MinimalCharacterizationH: %v", err)
+	}
+	if h == 0 {
+		t.Fatal("no characterization threshold found")
+	}
+	// The measured h must itself satisfy the Lemma 5.4 conclusion for
+	// unit pumps; re-check via CheckSmallValues.
+	var pumps []conf.Config
+	r := SmallValuesR(rho, h)
+	for i, small := range r {
+		if !small {
+			pumps = append(pumps, conf.MustUnit(space, space.Name(i)).Scale(2))
+		}
+	}
+	if err := CheckSmallValues(p.Net(), keep, rho, h, pumps, budget); err != nil {
+		t.Errorf("measured h=%d fails CheckSmallValues: %v", h, err)
+	}
+
+	if _, err := MinimalCharacterizationH(p.Net(), keep,
+		conf.MustFromMap(space, map[string]int64{"i": 1, "ib": 1}), 5, 2, budget); err == nil {
+		t.Error("unstabilized ρ accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package counting
+
+import (
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/verify"
+)
+
+var budget = petri.Budget{MaxConfigs: 1 << 19}
+
+func TestExample41StateAndWidth(t *testing.T) {
+	for n := int64(1); n <= 5; n++ {
+		p, err := Example41(n)
+		if err != nil {
+			t.Fatalf("Example41(%d): %v", n, err)
+		}
+		if p.States() != 2 {
+			t.Errorf("n=%d: states = %d, want 2", n, p.States())
+		}
+		if p.Width() != n {
+			t.Errorf("n=%d: width = %d, want %d", n, p.Width(), n)
+		}
+		if !p.Leaderless() {
+			t.Errorf("n=%d: not leaderless", n)
+		}
+	}
+	if _, err := Example41(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestExample41StablyComputes(t *testing.T) {
+	for n := int64(1); n <= 4; n++ {
+		p, err := Example41(n)
+		if err != nil {
+			t.Fatalf("Example41(%d): %v", n, err)
+		}
+		res, err := verify.Counting(p, "i", n, n+3, budget)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.OK() {
+			f := res.FirstFailure()
+			t.Errorf("n=%d fails at input %v (expected %v), counterexample %v",
+				n, f.Input, f.Expected, f.Counterexample)
+		}
+	}
+}
+
+func TestExample42StateWidthLeaders(t *testing.T) {
+	for n := int64(1); n <= 5; n++ {
+		p, err := Example42(n)
+		if err != nil {
+			t.Fatalf("Example42(%d): %v", n, err)
+		}
+		if p.States() != 6 {
+			t.Errorf("n=%d: states = %d, want 6", n, p.States())
+		}
+		if p.Width() != 2 {
+			t.Errorf("n=%d: width = %d, want 2", n, p.Width())
+		}
+		if p.NumLeaders() != n {
+			t.Errorf("n=%d: leaders = %d, want %d", n, p.NumLeaders(), n)
+		}
+		if !p.Net().Conservative() {
+			t.Errorf("n=%d: not conservative", n)
+		}
+	}
+	if _, err := Example42(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestExample42StablyComputes(t *testing.T) {
+	for n := int64(1); n <= 3; n++ {
+		p, err := Example42(n)
+		if err != nil {
+			t.Fatalf("Example42(%d): %v", n, err)
+		}
+		res, err := verify.Counting(p, "i", n, n+3, budget)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.OK() {
+			f := res.FirstFailure()
+			t.Errorf("n=%d fails at input %v (expected %v), counterexample %v",
+				n, f.Input, f.Expected, f.Counterexample)
+		}
+	}
+}
+
+func TestFlockOfBirdsShape(t *testing.T) {
+	for n := int64(1); n <= 6; n++ {
+		p, err := FlockOfBirds(n)
+		if err != nil {
+			t.Fatalf("FlockOfBirds(%d): %v", n, err)
+		}
+		wantStates := int(n) + 1
+		if n == 1 {
+			wantStates = 1
+		}
+		if p.States() != wantStates {
+			t.Errorf("n=%d: states = %d, want %d", n, p.States(), wantStates)
+		}
+		if n > 1 && p.Width() != 2 {
+			t.Errorf("n=%d: width = %d, want 2", n, p.Width())
+		}
+		if !p.Leaderless() {
+			t.Errorf("n=%d: not leaderless", n)
+		}
+	}
+}
+
+func TestFlockOfBirdsStablyComputes(t *testing.T) {
+	for n := int64(1); n <= 5; n++ {
+		p, err := FlockOfBirds(n)
+		if err != nil {
+			t.Fatalf("FlockOfBirds(%d): %v", n, err)
+		}
+		res, err := verify.Counting(p, "i", n, n+2, budget)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.OK() {
+			f := res.FirstFailure()
+			t.Errorf("n=%d fails at input %v (expected %v), counterexample %v",
+				n, f.Input, f.Expected, f.Counterexample)
+		}
+	}
+}
+
+func TestPowerOfTwoShape(t *testing.T) {
+	for k := int64(1); k <= 6; k++ {
+		p, err := PowerOfTwo(k)
+		if err != nil {
+			t.Fatalf("PowerOfTwo(%d): %v", k, err)
+		}
+		if got := int64(p.States()); got != k+2 {
+			t.Errorf("k=%d: states = %d, want %d", k, got, k+2)
+		}
+		if p.Width() != 2 {
+			t.Errorf("k=%d: width = %d, want 2", k, p.Width())
+		}
+	}
+	if _, err := PowerOfTwo(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestPowerOfTwoStablyComputes(t *testing.T) {
+	// k=1 (n=2), k=2 (n=4), k=3 (n=8): verify around the threshold.
+	for k := int64(1); k <= 3; k++ {
+		n := int64(1) << k
+		p, err := PowerOfTwo(k)
+		if err != nil {
+			t.Fatalf("PowerOfTwo(%d): %v", k, err)
+		}
+		res, err := verify.Counting(p, "i", n, n+2, budget)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !res.OK() {
+			f := res.FirstFailure()
+			t.Errorf("k=%d fails at input %v (expected %v), counterexample %v",
+				k, f.Input, f.Expected, f.Counterexample)
+		}
+	}
+}
+
+func TestLeaderDoublingShape(t *testing.T) {
+	for k := int64(0); k <= 5; k++ {
+		p, err := LeaderDoubling(k)
+		if err != nil {
+			t.Fatalf("LeaderDoubling(%d): %v", k, err)
+		}
+		if got := int64(p.States()); got != k+6 {
+			t.Errorf("k=%d: states = %d, want %d", k, got, k+6)
+		}
+		if p.NumLeaders() != 1 {
+			t.Errorf("k=%d: leaders = %d, want 1", k, p.NumLeaders())
+		}
+		if p.Width() != 2 {
+			t.Errorf("k=%d: width = %d, want 2", k, p.Width())
+		}
+	}
+}
+
+func TestLeaderDoublingStablyComputes(t *testing.T) {
+	// k=0 -> n=1, k=1 -> n=2, k=2 -> n=4.
+	for k := int64(0); k <= 2; k++ {
+		n := int64(1) << k
+		p, err := LeaderDoubling(k)
+		if err != nil {
+			t.Fatalf("LeaderDoubling(%d): %v", k, err)
+		}
+		res, err := verify.Counting(p, "i", n, n+2, budget)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !res.OK() {
+			f := res.FirstFailure()
+			t.Errorf("k=%d (n=%d) fails at input %v (expected %v), counterexample %v",
+				k, n, f.Input, f.Expected, f.Counterexample)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package graph provides the directed-graph algorithms the protocol
+// analyses are built on: strongly connected components (Tarjan),
+// condensations, bottom components and reachability fixpoints.
+//
+// Graphs are plain adjacency lists over integer node ids, matching the
+// node ids of petri.ReachSet closures.
+package graph
+
+// SCC computes the strongly connected components of the graph given as
+// adjacency lists, using Tarjan's algorithm (iterative, so deep graphs
+// cannot overflow the goroutine stack).
+//
+// It returns the component id of every node and the number of
+// components. Component ids are in reverse topological order: if there
+// is an edge from a node in component x to a node in component y with
+// x ≠ y, then x > y. Consequently component 0 is always a "bottom"
+// (sink) component of the condensation.
+func SCC(adj [][]int) (comp []int, ncomp int) {
+	n := len(adj)
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	// Iterative Tarjan: frame.ei is the next edge of frame.v to explore.
+	type frame struct {
+		v  int
+		ei int
+	}
+	var frames []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// All edges of f.v explored: pop.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// Condense builds the condensation graph: one node per component, edges
+// between distinct components, deduplicated. Component ids follow SCC's
+// numbering.
+func Condense(adj [][]int, comp []int, ncomp int) [][]int {
+	out := make([][]int, ncomp)
+	seen := make(map[[2]int]bool)
+	for v, ws := range adj {
+		for _, w := range ws {
+			a, b := comp[v], comp[w]
+			if a == b {
+				continue
+			}
+			key := [2]int{a, b}
+			if !seen[key] {
+				seen[key] = true
+				out[a] = append(out[a], b)
+			}
+		}
+	}
+	return out
+}
+
+// BottomComponents returns the component ids that have no outgoing edge
+// in the condensation: the bottom (sink) SCCs. A node in a bottom SCC
+// can reach exactly its own component.
+func BottomComponents(cond [][]int) []int {
+	var out []int
+	for c, succ := range cond {
+		if len(succ) == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Members returns, for each component, the list of node ids it contains.
+func Members(comp []int, ncomp int) [][]int {
+	out := make([][]int, ncomp)
+	for v, c := range comp {
+		out[c] = append(out[c], v)
+	}
+	return out
+}
+
+// CanReach computes, for every node, whether some node in the target set
+// is reachable (including trivially, when the node itself is a target).
+// It runs a reverse BFS from the targets.
+func CanReach(adj [][]int, targets []int) []bool {
+	n := len(adj)
+	radj := Reverse(adj)
+	reach := make([]bool, n)
+	queue := make([]int, 0, len(targets))
+	for _, t := range targets {
+		if !reach[t] {
+			reach[t] = true
+			queue = append(queue, t)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range radj[v] {
+			if !reach[w] {
+				reach[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return reach
+}
+
+// Reverse returns the reversed adjacency lists.
+func Reverse(adj [][]int) [][]int {
+	out := make([][]int, len(adj))
+	for v, ws := range adj {
+		for _, w := range ws {
+			out[w] = append(out[w], v)
+		}
+	}
+	return out
+}
+
+// StronglyConnected reports whether the whole graph is one strongly
+// connected component. The empty graph is not strongly connected; a
+// single node (with or without a self-loop) is.
+func StronglyConnected(adj [][]int) bool {
+	if len(adj) == 0 {
+		return false
+	}
+	_, ncomp := SCC(adj)
+	return ncomp == 1
+}

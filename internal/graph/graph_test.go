@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSCCLinear(t *testing.T) {
+	// 0 -> 1 -> 2, three singleton components.
+	adj := [][]int{{1}, {2}, nil}
+	comp, ncomp := SCC(adj)
+	if ncomp != 3 {
+		t.Fatalf("ncomp = %d, want 3", ncomp)
+	}
+	// Reverse topological order: edge source component id > target's.
+	if !(comp[0] > comp[1] && comp[1] > comp[2]) {
+		t.Errorf("comp order = %v, want reverse topological", comp)
+	}
+}
+
+func TestSCCCycle(t *testing.T) {
+	// 0 <-> 1, 2 alone reachable from the cycle.
+	adj := [][]int{{1}, {0, 2}, nil}
+	comp, ncomp := SCC(adj)
+	if ncomp != 2 {
+		t.Fatalf("ncomp = %d, want 2", ncomp)
+	}
+	if comp[0] != comp[1] {
+		t.Error("cycle nodes in different components")
+	}
+	if comp[2] == comp[0] {
+		t.Error("node 2 merged into cycle")
+	}
+}
+
+func TestSCCSelfLoopAndIsolated(t *testing.T) {
+	adj := [][]int{{0}, nil}
+	comp, ncomp := SCC(adj)
+	if ncomp != 2 || comp[0] == comp[1] {
+		t.Errorf("comp = %v ncomp = %d", comp, ncomp)
+	}
+}
+
+func TestCondenseAndBottom(t *testing.T) {
+	// Two cycles {0,1} -> {2,3}; bottom is {2,3}.
+	adj := [][]int{{1}, {0, 2}, {3}, {2}}
+	comp, ncomp := SCC(adj)
+	cond := Condense(adj, comp, ncomp)
+	bottoms := BottomComponents(cond)
+	if len(bottoms) != 1 {
+		t.Fatalf("bottoms = %v, want one", bottoms)
+	}
+	if bottoms[0] != comp[2] {
+		t.Errorf("bottom = %d, want component of node 2 (%d)", bottoms[0], comp[2])
+	}
+	members := Members(comp, ncomp)
+	got := members[comp[2]]
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("bottom members = %v, want [2 3]", got)
+	}
+}
+
+func TestCanReach(t *testing.T) {
+	// 0 -> 1 -> 2; 3 isolated.
+	adj := [][]int{{1}, {2}, nil, nil}
+	reach := CanReach(adj, []int{2})
+	want := []bool{true, true, true, false}
+	for i, w := range want {
+		if reach[i] != w {
+			t.Errorf("reach[%d] = %v, want %v", i, reach[i], w)
+		}
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	if !StronglyConnected([][]int{{1}, {0}}) {
+		t.Error("2-cycle not strongly connected")
+	}
+	if StronglyConnected([][]int{{1}, nil}) {
+		t.Error("path reported strongly connected")
+	}
+	if StronglyConnected(nil) {
+		t.Error("empty graph reported strongly connected")
+	}
+	if !StronglyConnected([][]int{nil}) {
+		t.Error("single node not strongly connected")
+	}
+}
+
+// Cross-check Tarjan against a brute-force mutual-reachability SCC on
+// random graphs.
+func TestSCCRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		adj := make([][]int, n)
+		for v := 0; v < n; v++ {
+			for w := 0; w < n; w++ {
+				if rng.Float64() < 0.2 {
+					adj[v] = append(adj[v], w)
+				}
+			}
+		}
+		comp, _ := SCC(adj)
+
+		// Brute force: Floyd-Warshall style reachability.
+		reach := make([][]bool, n)
+		for v := range reach {
+			reach[v] = make([]bool, n)
+			reach[v][v] = true
+			for _, w := range adj[v] {
+				reach[v][w] = true
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				same := comp[i] == comp[j]
+				mutual := reach[i][j] && reach[j][i]
+				if same != mutual {
+					t.Fatalf("trial %d: nodes %d,%d: same-comp=%v mutual=%v", trial, i, j, same, mutual)
+				}
+			}
+		}
+	}
+}
+
+// The reverse-topological numbering property on random DAG-ish graphs.
+func TestSCCTopologicalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(15)
+		adj := make([][]int, n)
+		for v := 0; v < n; v++ {
+			for w := 0; w < n; w++ {
+				if rng.Float64() < 0.15 {
+					adj[v] = append(adj[v], w)
+				}
+			}
+		}
+		comp, _ := SCC(adj)
+		for v, ws := range adj {
+			for _, w := range ws {
+				if comp[v] != comp[w] && comp[v] < comp[w] {
+					t.Fatalf("trial %d: edge %d->%d violates ordering (%d < %d)", trial, v, w, comp[v], comp[w])
+				}
+			}
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	adj := [][]int{{1, 2}, {2}, nil}
+	r := Reverse(adj)
+	if len(r[2]) != 2 || len(r[1]) != 1 || len(r[0]) != 0 {
+		t.Errorf("Reverse = %v", r)
+	}
+}

@@ -1,0 +1,147 @@
+// Package machine provides bounded register machines with polynomial
+// updates: the computational substrate behind the O(log log n)
+// counting protocols of Blondin–Esparza–Jaax [6] that Theorem 4.3 is
+// matched against. A machine with O(k) instructions can compute values
+// as large as 2^(2^k) by repeated squaring; the tower protocol
+// (counting.Tower) simulates such a machine with a leader.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Op is an instruction opcode.
+type Op int
+
+// Opcodes.
+const (
+	OpSet  Op = iota + 1 // Dst := K
+	OpAdd                // Dst := Src1 + Src2
+	OpMul                // Dst := Src1 · Src2
+	OpCopy               // Dst := Src1
+)
+
+// Instr is one register-machine instruction.
+type Instr struct {
+	Op         Op
+	Dst        string
+	Src1, Src2 string
+	K          int64
+}
+
+// String renders the instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpSet:
+		return fmt.Sprintf("%s := %d", i.Dst, i.K)
+	case OpAdd:
+		return fmt.Sprintf("%s := %s + %s", i.Dst, i.Src1, i.Src2)
+	case OpMul:
+		return fmt.Sprintf("%s := %s · %s", i.Dst, i.Src1, i.Src2)
+	case OpCopy:
+		return fmt.Sprintf("%s := %s", i.Dst, i.Src1)
+	default:
+		return fmt.Sprintf("op(%d)", i.Op)
+	}
+}
+
+// Program is a straight-line register program.
+type Program struct {
+	Instrs []Instr
+	// Output is the register holding the result.
+	Output string
+}
+
+// Validate checks opcodes and register references.
+func (p Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return errors.New("machine: empty program")
+	}
+	if p.Output == "" {
+		return errors.New("machine: no output register")
+	}
+	defined := make(map[string]bool)
+	for idx, in := range p.Instrs {
+		switch in.Op {
+		case OpSet:
+			if in.K < 0 {
+				return fmt.Errorf("machine: instr %d: negative constant", idx)
+			}
+		case OpAdd, OpMul:
+			if !defined[in.Src1] || !defined[in.Src2] {
+				return fmt.Errorf("machine: instr %d: undefined source", idx)
+			}
+		case OpCopy:
+			if !defined[in.Src1] {
+				return fmt.Errorf("machine: instr %d: undefined source", idx)
+			}
+		default:
+			return fmt.Errorf("machine: instr %d: bad opcode %d", idx, in.Op)
+		}
+		if in.Dst == "" {
+			return fmt.Errorf("machine: instr %d: no destination", idx)
+		}
+		defined[in.Dst] = true
+	}
+	if !defined[p.Output] {
+		return fmt.Errorf("machine: output register %q never written", p.Output)
+	}
+	return nil
+}
+
+// Run executes the program and returns the output register's value and
+// the maximum value held by any register at any point (the bound the
+// simulating protocol's population must carry).
+func (p Program) Run() (out, maxVal *big.Int, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	regs := make(map[string]*big.Int)
+	maxVal = big.NewInt(0)
+	note := func(v *big.Int) {
+		if v.Cmp(maxVal) > 0 {
+			maxVal = new(big.Int).Set(v)
+		}
+	}
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case OpSet:
+			regs[in.Dst] = big.NewInt(in.K)
+		case OpAdd:
+			regs[in.Dst] = new(big.Int).Add(regs[in.Src1], regs[in.Src2])
+		case OpMul:
+			regs[in.Dst] = new(big.Int).Mul(regs[in.Src1], regs[in.Src2])
+		case OpCopy:
+			regs[in.Dst] = new(big.Int).Set(regs[in.Src1])
+		}
+		note(regs[in.Dst])
+	}
+	return new(big.Int).Set(regs[p.Output]), maxVal, nil
+}
+
+// SquaringProgram returns the k-squaring program R := 2; R := R² (×k),
+// computing 2^(2^k) with k+1 instructions: the canonical witness that
+// short programs compute doubly-exponential values.
+func SquaringProgram(k int) Program {
+	instrs := []Instr{{Op: OpSet, Dst: "R", K: 2}}
+	for i := 0; i < k; i++ {
+		instrs = append(instrs, Instr{Op: OpMul, Dst: "R", Src1: "R", Src2: "R"})
+	}
+	return Program{Instrs: instrs, Output: "R"}
+}
+
+// TowerValue returns 2^(2^k) exactly.
+func TowerValue(k int) *big.Int {
+	exp := new(big.Int).Lsh(big.NewInt(1), uint(k)) // 2^k
+	return new(big.Int).Exp(big.NewInt(2), exp, nil)
+}
+
+// TowerValueInt64 returns 2^(2^k) when it fits an int64 (k ≤ 5).
+func TowerValueInt64(k int) (int64, error) {
+	if k > 5 {
+		return 0, fmt.Errorf("machine: 2^(2^%d) exceeds int64", k)
+	}
+	return TowerValue(k).Int64(), nil
+}

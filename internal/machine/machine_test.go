@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestSquaringProgram(t *testing.T) {
+	for k := 0; k <= 6; k++ {
+		p := SquaringProgram(k)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("k=%d: Validate: %v", k, err)
+		}
+		if len(p.Instrs) != k+1 {
+			t.Errorf("k=%d: %d instructions, want %d", k, len(p.Instrs), k+1)
+		}
+		out, maxVal, err := p.Run()
+		if err != nil {
+			t.Fatalf("k=%d: Run: %v", k, err)
+		}
+		want := TowerValue(k)
+		if out.Cmp(want) != 0 {
+			t.Errorf("k=%d: output %v, want %v", k, out, want)
+		}
+		if maxVal.Cmp(want) != 0 {
+			t.Errorf("k=%d: max %v, want %v", k, maxVal, want)
+		}
+	}
+}
+
+func TestTowerValue(t *testing.T) {
+	wants := []int64{2, 4, 16, 256, 65536, 4294967296}
+	for k, want := range wants {
+		got := TowerValue(k)
+		if got.Cmp(big.NewInt(want)) != 0 {
+			t.Errorf("TowerValue(%d) = %v, want %d", k, got, want)
+		}
+		gi, err := TowerValueInt64(k)
+		if err != nil || gi != want {
+			t.Errorf("TowerValueInt64(%d) = %d, %v", k, gi, err)
+		}
+	}
+	if _, err := TowerValueInt64(6); err == nil {
+		t.Error("2^64 fit into int64?")
+	}
+}
+
+func TestGeneralProgram(t *testing.T) {
+	p := Program{
+		Instrs: []Instr{
+			{Op: OpSet, Dst: "a", K: 3},
+			{Op: OpSet, Dst: "b", K: 4},
+			{Op: OpMul, Dst: "c", Src1: "a", Src2: "b"},
+			{Op: OpAdd, Dst: "c", Src1: "c", Src2: "a"},
+			{Op: OpCopy, Dst: "out", Src1: "c"},
+		},
+		Output: "out",
+	}
+	out, maxVal, err := p.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.Int64() != 15 {
+		t.Errorf("out = %v, want 15", out)
+	}
+	if maxVal.Int64() != 15 {
+		t.Errorf("max = %v, want 15", maxVal)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []Program{
+		{},
+		{Instrs: []Instr{{Op: OpSet, Dst: "a", K: 1}}},
+		{Instrs: []Instr{{Op: OpSet, Dst: "a", K: -1}}, Output: "a"},
+		{Instrs: []Instr{{Op: OpAdd, Dst: "a", Src1: "x", Src2: "y"}}, Output: "a"},
+		{Instrs: []Instr{{Op: OpCopy, Dst: "a", Src1: "x"}}, Output: "a"},
+		{Instrs: []Instr{{Op: Op(99), Dst: "a"}}, Output: "a"},
+		{Instrs: []Instr{{Op: OpSet, Dst: "a", K: 1}}, Output: "zz"},
+		{Instrs: []Instr{{Op: OpSet, Dst: "", K: 1}}, Output: "a"},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid program validated", i)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	for _, in := range []Instr{
+		{Op: OpSet, Dst: "a", K: 2},
+		{Op: OpAdd, Dst: "a", Src1: "b", Src2: "c"},
+		{Op: OpMul, Dst: "a", Src1: "b", Src2: "c"},
+		{Op: OpCopy, Dst: "a", Src1: "b"},
+		{Op: Op(42)},
+	} {
+		if in.String() == "" {
+			t.Errorf("empty String for %+v", in)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package petri
+
+import (
+	"errors"
+
+	"repro/internal/conf"
+)
+
+// Coverable decides whether target is T-coverable from the given
+// configuration: whether some β ≥ target is reachable. It runs the
+// classical backward algorithm over minimal bases of upward-closed sets,
+// which terminates by Dickson's lemma; maxBasis (0 = default) caps the
+// basis size defensively.
+func (n *Net) Coverable(from, target conf.Config, maxBasis int) (bool, error) {
+	if !from.Space().Equal(n.space) || !target.Space().Equal(n.space) {
+		return false, errors.New("petri: coverability arguments over wrong space")
+	}
+	if maxBasis <= 0 {
+		maxBasis = DefaultMaxConfigs
+	}
+	// basis is a minimal antichain whose upward closure is the set of
+	// configurations from which target is coverable.
+	basis := []conf.Config{target}
+	frontier := []conf.Config{target}
+	for len(frontier) > 0 {
+		if covered(basis, from) {
+			return true, nil
+		}
+		var next []conf.Config
+		for _, m := range frontier {
+			for _, t := range n.trans {
+				pred := t.BackFire(m)
+				if insertMinimal(&basis, pred) {
+					next = append(next, pred)
+				}
+			}
+		}
+		if len(basis) > maxBasis {
+			return false, errBudget("coverable", len(basis))
+		}
+		frontier = next
+	}
+	return covered(basis, from), nil
+}
+
+// covered reports whether c is in the upward closure of the basis.
+func covered(basis []conf.Config, c conf.Config) bool {
+	for _, b := range basis {
+		if b.Leq(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// insertMinimal adds cand to the antichain unless it is dominated;
+// it removes elements cand dominates. It reports whether cand was added.
+func insertMinimal(basis *[]conf.Config, cand conf.Config) bool {
+	for _, b := range *basis {
+		if b.Leq(cand) {
+			return false // cand is redundant
+		}
+	}
+	kept := (*basis)[:0]
+	for _, b := range *basis {
+		if !cand.Leq(b) {
+			kept = append(kept, b)
+		}
+	}
+	*basis = append(kept, cand)
+	return true
+}
+
+// CoverWitness is the result of a shortest covering-word search.
+type CoverWitness struct {
+	// Word is a shortest firing word σ with from —σ→ β ≥ target.
+	Word []int
+	// Reached is the covering configuration β.
+	Reached conf.Config
+}
+
+// ShortestCoveringWord searches breadth-first for a shortest word
+// covering target from the given configuration. Configurations dominated
+// by an already-visited one are pruned, which is sound for coverability
+// because enabledness and coverage are upward monotone. It returns nil
+// (no error) when target is provably not coverable within the budget
+// semantics, and a wrapped ErrBudget when the search was truncated.
+//
+// The measured |Word| is the quantity Lemma 5.3 (Rackoff) bounds by
+// (‖target‖∞ + ‖T‖∞)^(|P|^|P|).
+func (n *Net) ShortestCoveringWord(from, target conf.Config, budget Budget) (*CoverWitness, error) {
+	if !from.Space().Equal(n.space) || !target.Space().Equal(n.space) {
+		return nil, errors.New("petri: coverability arguments over wrong space")
+	}
+	if target.Leq(from) {
+		return &CoverWitness{Word: nil, Reached: from}, nil
+	}
+	type node struct {
+		cfg    conf.Config
+		parent int
+		via    int
+	}
+	nodes := []node{{cfg: from, parent: -1, via: -1}}
+	// maximal is the antichain of visited configurations used for
+	// domination pruning.
+	maximal := []conf.Config{from}
+	maxConfigs := budget.maxConfigs()
+
+	extract := func(i int) []int {
+		var rev []int
+		for cur := i; nodes[cur].parent >= 0; cur = nodes[cur].parent {
+			rev = append(rev, nodes[cur].via)
+		}
+		for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+			rev[a], rev[b] = rev[b], rev[a]
+		}
+		return rev
+	}
+
+	for head := 0; head < len(nodes); head++ {
+		cur := nodes[head].cfg
+		for ti, t := range n.trans {
+			next, ok := t.Fire(cur)
+			if !ok {
+				continue
+			}
+			if budget.MaxAgents > 0 && next.Agents() > budget.MaxAgents {
+				return nil, errBudget("cover-search", len(nodes))
+			}
+			if dominatedBy(maximal, next) {
+				continue
+			}
+			nodes = append(nodes, node{cfg: next, parent: head, via: ti})
+			if target.Leq(next) {
+				return &CoverWitness{Word: extract(len(nodes) - 1), Reached: next}, nil
+			}
+			insertMaximal(&maximal, next)
+			if len(nodes) >= maxConfigs {
+				return nil, errBudget("cover-search", len(nodes))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// dominatedBy reports whether some element of the antichain dominates c.
+func dominatedBy(maximal []conf.Config, c conf.Config) bool {
+	for _, m := range maximal {
+		if c.Leq(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// insertMaximal adds cand to the antichain of maximal visited
+// configurations, dropping the elements it dominates.
+func insertMaximal(maximal *[]conf.Config, cand conf.Config) {
+	kept := (*maximal)[:0]
+	for _, m := range *maximal {
+		if !m.Leq(cand) {
+			kept = append(kept, m)
+		}
+	}
+	*maximal = append(kept, cand)
+}

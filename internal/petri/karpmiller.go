@@ -1,0 +1,219 @@
+package petri
+
+import (
+	"errors"
+	"math"
+	"strconv"
+
+	"repro/internal/conf"
+)
+
+// Omega is the ω value of extended markings in the Karp–Miller tree: a
+// place that can be pumped beyond any bound.
+const Omega = int64(math.MaxInt64)
+
+// ExtMarking is a marking over ℕ ∪ {ω}, represented densely; Omega
+// encodes ω.
+type ExtMarking []int64
+
+// NewExtMarking converts a configuration to an extended marking.
+func NewExtMarking(c conf.Config) ExtMarking {
+	m := make(ExtMarking, c.Space().Len())
+	for i := range m {
+		m[i] = c.Get(i)
+	}
+	return m
+}
+
+// Leq reports componentwise order, with ω ≥ everything.
+func (m ExtMarking) Leq(o ExtMarking) bool {
+	for i, v := range m {
+		if v == Omega && o[i] != Omega {
+			return false
+		}
+		if v != Omega && o[i] != Omega && v > o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports componentwise equality.
+func (m ExtMarking) Equal(o ExtMarking) bool {
+	for i, v := range m {
+		if v != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasOmega reports whether any component is ω.
+func (m ExtMarking) HasOmega() bool {
+	for _, v := range m {
+		if v == Omega {
+			return true
+		}
+	}
+	return false
+}
+
+// OmegaPlaces returns the indices of ω components.
+func (m ExtMarking) OmegaPlaces() []int {
+	var out []int
+	for i, v := range m {
+		if v == Omega {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m ExtMarking) clone() ExtMarking {
+	out := make(ExtMarking, len(m))
+	copy(out, m)
+	return out
+}
+
+// fire attempts to fire t on the extended marking (ω absorbs all
+// arithmetic).
+func (m ExtMarking) fire(t Transition) (ExtMarking, bool) {
+	out := m.clone()
+	for i := range out {
+		pre := t.Pre.Get(i)
+		if out[i] == Omega {
+			continue
+		}
+		if out[i] < pre {
+			return nil, false
+		}
+		out[i] += t.Post.Get(i) - pre
+	}
+	return out, true
+}
+
+// key serializes the marking for dedup purposes.
+func (m ExtMarking) key() string {
+	buf := make([]byte, 0, len(m)*8)
+	for _, v := range m {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(v>>s))
+		}
+	}
+	return string(buf)
+}
+
+// KMNode is a node of the Karp–Miller tree.
+type KMNode struct {
+	Marking  ExtMarking
+	Parent   int // −1 at the root
+	Via      int // transition index fired from the parent, −1 at the root
+	Children []int
+}
+
+// KMTree is a Karp–Miller coverability tree.
+type KMTree struct {
+	net   *Net
+	Nodes []KMNode
+}
+
+// KarpMiller builds the Karp–Miller tree from the given configuration.
+// maxNodes (0 = default) caps the construction defensively; the
+// algorithm itself always terminates.
+func (n *Net) KarpMiller(from conf.Config, maxNodes int) (*KMTree, error) {
+	if !from.Space().Equal(n.space) {
+		return nil, errors.New("petri: initial configuration over wrong space")
+	}
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxConfigs
+	}
+	tree := &KMTree{net: n}
+	tree.Nodes = append(tree.Nodes, KMNode{Marking: NewExtMarking(from), Parent: -1, Via: -1})
+	seen := map[string]bool{tree.Nodes[0].Marking.key(): true}
+	queue := []int{0}
+
+	for len(queue) > 0 {
+		head := queue[0]
+		queue = queue[1:]
+		cur := tree.Nodes[head].Marking
+		for ti, t := range n.trans {
+			next, ok := cur.fire(t)
+			if !ok {
+				continue
+			}
+			// Acceleration: for every strictly dominated ancestor,
+			// promote strictly increased places to ω.
+			for anc := head; anc >= 0; anc = tree.Nodes[anc].Parent {
+				am := tree.Nodes[anc].Marking
+				if am.Leq(next) && !am.Equal(next) {
+					for i := range next {
+						if next[i] != Omega && am[i] != Omega && next[i] > am[i] {
+							next[i] = Omega
+						}
+					}
+				}
+			}
+			id := len(tree.Nodes)
+			tree.Nodes = append(tree.Nodes, KMNode{Marking: next, Parent: head, Via: ti})
+			tree.Nodes[head].Children = append(tree.Nodes[head].Children, id)
+			// Expand only markings not seen anywhere in the tree so far
+			// (the "set" variant, sound for boundedness and
+			// coverability-set computation).
+			if k := next.key(); !seen[k] {
+				seen[k] = true
+				queue = append(queue, id)
+			}
+			if len(tree.Nodes) > maxNodes {
+				return nil, errBudget("karp-miller", len(tree.Nodes))
+			}
+		}
+	}
+	return tree, nil
+}
+
+// Bounded reports whether the reachability set from the tree's root is
+// finite (no ω in any node).
+func (t *KMTree) Bounded() bool {
+	for _, n := range t.Nodes {
+		if n.Marking.HasOmega() {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether some node of the tree covers the target
+// configuration (with ω covering everything). By the Karp–Miller
+// theorem this decides coverability.
+func (t *KMTree) Covers(target conf.Config) bool {
+	tm := NewExtMarking(target)
+	for _, n := range t.Nodes {
+		if tm.Leq(n.Marking) {
+			return true
+		}
+	}
+	return false
+}
+
+// PumpableSets returns the distinct ω-place sets occurring in the tree,
+// each as a sorted index slice. These are the candidate P∖Q sets of the
+// bottom-configuration analysis (Section 6).
+func (t *KMTree) PumpableSets() [][]int {
+	seen := make(map[string]bool)
+	var out [][]int
+	for _, n := range t.Nodes {
+		om := n.Marking.OmegaPlaces()
+		if len(om) == 0 {
+			continue
+		}
+		key := ""
+		for _, i := range om {
+			key += strconv.Itoa(i) + ","
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, om)
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package petri
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/conf"
+)
+
+// chainNet builds the net a -> b -> c over tSpace.
+func chainNet(t *testing.T) *Net {
+	t.Helper()
+	n, err := New(tSpace, []Transition{
+		mk(t, "ab", map[string]int64{"a": 1}, map[string]int64{"b": 1}),
+		mk(t, "bc", map[string]int64{"b": 1}, map[string]int64{"c": 1}),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func TestNetValidation(t *testing.T) {
+	// Empty spaces are allowed (degenerate T|∅ restrictions).
+	if _, err := New(conf.MustSpace(), nil); err != nil {
+		t.Errorf("empty space rejected: %v", err)
+	}
+	dup := []Transition{
+		mk(t, "t", map[string]int64{"a": 1}, map[string]int64{"b": 1}),
+		mk(t, "t", map[string]int64{"b": 1}, map[string]int64{"c": 1}),
+	}
+	if _, err := New(tSpace, dup); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestNetAccessors(t *testing.T) {
+	n := chainNet(t)
+	if n.Len() != 2 || n.Width() != 1 || n.NormInf() != 1 {
+		t.Errorf("Len/Width/NormInf = %d/%d/%d", n.Len(), n.Width(), n.NormInf())
+	}
+	if !n.Conservative() {
+		t.Error("chain net not conservative")
+	}
+	ts := n.Transitions()
+	ts[0] = Transition{}
+	if n.At(0).Name != "ab" {
+		t.Error("Transitions() exposed internal slice")
+	}
+}
+
+func TestSuccessorsAndFireWord(t *testing.T) {
+	n := chainNet(t)
+	from := conf.MustFromMap(tSpace, map[string]int64{"a": 1, "b": 1})
+	succ := n.Successors(from)
+	if len(succ) != 2 {
+		t.Fatalf("successors = %d, want 2", len(succ))
+	}
+	got, err := n.FireWord(from, []int{0, 1, 1})
+	if err != nil {
+		t.Fatalf("FireWord: %v", err)
+	}
+	want := conf.MustFromMap(tSpace, map[string]int64{"c": 2})
+	if !got.Equal(want) {
+		t.Errorf("FireWord = %v, want %v", got, want)
+	}
+	if _, err := n.FireWord(from, []int{1, 1}); err == nil {
+		t.Error("disabled word accepted")
+	}
+	if _, err := n.FireWord(from, []int{7}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestNetRestrict(t *testing.T) {
+	n := chainNet(t)
+	q := conf.MustSpace("a", "b")
+	r, err := n.Restrict(q)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	// ab restricts to a->b; bc restricts to b->0 (c vanishes).
+	if r.Len() != 2 {
+		t.Fatalf("restricted net has %d transitions, want 2", r.Len())
+	}
+	if !r.Space().Equal(q) {
+		t.Error("restricted net over wrong space")
+	}
+}
+
+func TestNetRestrictMerges(t *testing.T) {
+	n, err := New(tSpace, []Transition{
+		mk(t, "t1", map[string]int64{"a": 1}, map[string]int64{"b": 1, "c": 1}),
+		mk(t, "t2", map[string]int64{"a": 1}, map[string]int64{"b": 1, "c": 2}),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	q := conf.MustSpace("a", "b")
+	r, err := n.Restrict(q)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("restriction kept %d transitions, want 1 (merged)", r.Len())
+	}
+}
+
+func TestReach(t *testing.T) {
+	n := chainNet(t)
+	from := conf.MustFromMap(tSpace, map[string]int64{"a": 2})
+	rs, err := n.Reach(from, Budget{})
+	if err != nil {
+		t.Fatalf("Reach: %v", err)
+	}
+	if !rs.Complete {
+		t.Fatal("closure incomplete")
+	}
+	// Configurations: all (a,b,c) with a+b+c=2 reachable monotonically:
+	// {2a},{a+b},{a+c},{2b},{b+c},{2c} = 6.
+	if rs.Len() != 6 {
+		t.Errorf("closure size = %d, want 6", rs.Len())
+	}
+	target := conf.MustFromMap(tSpace, map[string]int64{"c": 2})
+	id, ok := rs.ID(target)
+	if !ok {
+		t.Fatal("2c not reached")
+	}
+	word := rs.PathTo(id)
+	if len(word) != 4 {
+		t.Errorf("shortest word length = %d, want 4", len(word))
+	}
+	end, err := n.FireWord(from, word)
+	if err != nil || !end.Equal(target) {
+		t.Errorf("witness word does not replay: %v, %v", end, err)
+	}
+}
+
+func TestReachBudget(t *testing.T) {
+	// Unbounded net: a -> a + b.
+	n, err := New(tSpace, []Transition{
+		mk(t, "pump", map[string]int64{"a": 1}, map[string]int64{"a": 1, "b": 1}),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	from := conf.MustUnit(tSpace, "a")
+	rs, err := n.Reach(from, Budget{MaxConfigs: 10})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if rs == nil || rs.Complete {
+		t.Fatal("truncated closure not flagged")
+	}
+
+	// MaxAgents pruning also yields an incomplete closure.
+	rs, err = n.Reach(from, Budget{MaxAgents: 3})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if rs.Complete {
+		t.Fatal("agent-pruned closure marked complete")
+	}
+	if rs.Len() != 3 { // a, a+b, a+2b
+		t.Errorf("pruned closure size = %d, want 3", rs.Len())
+	}
+}
+
+func TestReachMaxDepth(t *testing.T) {
+	n := chainNet(t)
+	from := conf.MustFromMap(tSpace, map[string]int64{"a": 2})
+	rs, err := n.Reach(from, Budget{MaxDepth: 1})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if rs.Complete {
+		t.Fatal("depth-limited closure marked complete")
+	}
+	// Depth 1: {2a} plus one-step successors {a+b}.
+	if rs.Len() != 2 {
+		t.Errorf("depth-1 closure size = %d, want 2", rs.Len())
+	}
+}
+
+func TestReachWrongSpace(t *testing.T) {
+	n := chainNet(t)
+	if _, err := n.Reach(conf.New(conf.MustSpace("z")), Budget{}); err == nil {
+		t.Error("wrong-space initial accepted")
+	}
+}
+
+func TestAdjacencyLists(t *testing.T) {
+	n := chainNet(t)
+	from := conf.MustUnit(tSpace, "a")
+	rs, err := n.Reach(from, Budget{})
+	if err != nil {
+		t.Fatalf("Reach: %v", err)
+	}
+	adj := rs.AdjacencyLists()
+	if len(adj) != rs.Len() {
+		t.Fatalf("adjacency size mismatch")
+	}
+	// a -> b -> c linearly.
+	if len(adj[0]) != 1 || len(adj[adj[0][0]]) != 1 {
+		t.Errorf("unexpected adjacency %v", adj)
+	}
+}

@@ -1,0 +1,203 @@
+package petri
+
+import (
+	"errors"
+
+	"repro/internal/conf"
+)
+
+// ErrBudget is reported (wrapped) when an exploration exceeds its budget.
+var ErrBudget = errors.New("petri: exploration budget exhausted")
+
+// Budget bounds an exploration. The zero value applies defaults.
+type Budget struct {
+	// MaxConfigs caps the number of distinct configurations visited.
+	// Zero means DefaultMaxConfigs.
+	MaxConfigs int
+	// MaxAgents prunes configurations with more agents. Zero means
+	// unlimited. Pruning makes the closure incomplete, which Reach
+	// records rather than hiding.
+	MaxAgents int64
+	// MaxDepth caps the exploration depth (word length). Zero means
+	// unlimited.
+	MaxDepth int
+}
+
+// DefaultMaxConfigs is the visited-set cap used when Budget.MaxConfigs
+// is zero.
+const DefaultMaxConfigs = 1 << 20
+
+func (b Budget) maxConfigs() int {
+	if b.MaxConfigs <= 0 {
+		return DefaultMaxConfigs
+	}
+	return b.MaxConfigs
+}
+
+// Edge is one explored firing: transition index and target node id.
+type Edge struct {
+	Trans int
+	To    int
+}
+
+// ReachSet is the (possibly truncated) forward reachability closure of a
+// configuration, with enough structure to reconstruct shortest firing
+// words and to run SCC analyses.
+type ReachSet struct {
+	net     *Net
+	configs []conf.Config
+	index   map[string]int
+	edges   [][]Edge
+	parent  []int // BFS tree parent node, −1 at the root
+	via     []int // transition fired from parent, −1 at the root
+	depth   []int
+
+	// Complete reports that the closure is exact: no budget or depth
+	// truncation occurred. Analyses that require exactness must check it.
+	Complete bool
+}
+
+// Reach computes the forward closure of from under the net, breadth
+// first, within the budget. A truncated closure is still returned (with
+// Complete=false) together with a wrapped ErrBudget, so callers can
+// inspect partial results while being unable to mistake them for exact
+// ones.
+func (n *Net) Reach(from conf.Config, budget Budget) (*ReachSet, error) {
+	if !from.Space().Equal(n.space) {
+		return nil, errors.New("petri: initial configuration over wrong space")
+	}
+	rs := &ReachSet{
+		net:      n,
+		index:    make(map[string]int),
+		Complete: true,
+	}
+	rs.add(from, -1, -1, 0)
+	maxConfigs := budget.maxConfigs()
+
+	for head := 0; head < len(rs.configs); head++ {
+		if budget.MaxDepth > 0 && rs.depth[head] >= budget.MaxDepth {
+			// Unexpanded frontier node: the closure may be missing
+			// deeper configurations.
+			rs.Complete = false
+			continue
+		}
+		cur := rs.configs[head]
+		for ti, t := range n.trans {
+			next, ok := t.Fire(cur)
+			if !ok {
+				continue
+			}
+			if budget.MaxAgents > 0 && next.Agents() > budget.MaxAgents {
+				rs.Complete = false
+				continue
+			}
+			id, exists := rs.lookup(next)
+			if !exists {
+				if len(rs.configs) >= maxConfigs {
+					rs.Complete = false
+					return rs, errBudget("reach", len(rs.configs))
+				}
+				id = rs.add(next, head, ti, rs.depth[head]+1)
+			}
+			rs.edges[head] = append(rs.edges[head], Edge{Trans: ti, To: id})
+		}
+	}
+	if !rs.Complete {
+		return rs, errBudget("reach", len(rs.configs))
+	}
+	return rs, nil
+}
+
+func errBudget(op string, visited int) error {
+	return &BudgetError{Op: op, Visited: visited}
+}
+
+// BudgetError reports a truncated exploration. It wraps ErrBudget.
+type BudgetError struct {
+	Op      string
+	Visited int
+}
+
+func (e *BudgetError) Error() string {
+	return "petri: " + e.Op + ": exploration budget exhausted"
+}
+
+// Unwrap makes errors.Is(err, ErrBudget) succeed.
+func (e *BudgetError) Unwrap() error { return ErrBudget }
+
+func (rs *ReachSet) add(c conf.Config, parent, via, depth int) int {
+	id := len(rs.configs)
+	rs.configs = append(rs.configs, c)
+	rs.index[c.Key()] = id
+	rs.edges = append(rs.edges, nil)
+	rs.parent = append(rs.parent, parent)
+	rs.via = append(rs.via, via)
+	rs.depth = append(rs.depth, depth)
+	return id
+}
+
+func (rs *ReachSet) lookup(c conf.Config) (int, bool) {
+	id, ok := rs.index[c.Key()]
+	return id, ok
+}
+
+// Len returns the number of configurations in the closure.
+func (rs *ReachSet) Len() int { return len(rs.configs) }
+
+// Config returns the configuration with the given node id.
+func (rs *ReachSet) Config(id int) conf.Config { return rs.configs[id] }
+
+// ID returns the node id of a configuration, if present.
+func (rs *ReachSet) ID(c conf.Config) (int, bool) { return rs.lookup(c) }
+
+// Contains reports whether the configuration is in the closure.
+func (rs *ReachSet) Contains(c conf.Config) bool {
+	_, ok := rs.lookup(c)
+	return ok
+}
+
+// Edges returns the outgoing explored edges of a node.
+func (rs *ReachSet) Edges(id int) []Edge { return rs.edges[id] }
+
+// Depth returns the BFS depth of a node (shortest word length from the
+// root).
+func (rs *ReachSet) Depth(id int) int { return rs.depth[id] }
+
+// PathTo returns a shortest firing word (as transition indices) from the
+// root to the given node.
+func (rs *ReachSet) PathTo(id int) []int {
+	var rev []int
+	for cur := id; rs.parent[cur] >= 0; cur = rs.parent[cur] {
+		rev = append(rev, rs.via[cur])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ForEach calls fn for every node id in BFS order, stopping early if fn
+// returns false.
+func (rs *ReachSet) ForEach(fn func(id int, c conf.Config) bool) {
+	for id, c := range rs.configs {
+		if !fn(id, c) {
+			return
+		}
+	}
+}
+
+// AdjacencyLists returns the closure's edge structure as plain adjacency
+// lists for graph algorithms (SCC, condensation).
+func (rs *ReachSet) AdjacencyLists() [][]int {
+	adj := make([][]int, len(rs.configs))
+	for id, es := range rs.edges {
+		if len(es) == 0 {
+			continue
+		}
+		adj[id] = make([]int, 0, len(es))
+		for _, e := range es {
+			adj[id] = append(adj[id], e.To)
+		}
+	}
+	return adj
+}

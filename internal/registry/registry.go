@@ -1,0 +1,117 @@
+// Package registry names the built-in protocol constructions so CLI
+// tools and examples can instantiate them uniformly.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/counting"
+	"repro/internal/spec"
+)
+
+// Entry describes a named construction.
+type Entry struct {
+	// Name is the registry key.
+	Name string
+	// Param documents the meaning of the parameter.
+	Param string
+	// Make builds the protocol for a parameter value and returns it
+	// together with the counting threshold n it decides (0 when the
+	// protocol does not decide a counting predicate).
+	Make func(param int64) (*core.Protocol, int64, error)
+}
+
+var entries = map[string]Entry{
+	"example41": {
+		Name: "example41", Param: "n (threshold)",
+		Make: func(n int64) (*core.Protocol, int64, error) {
+			p, err := counting.Example41(n)
+			return p, n, err
+		},
+	},
+	"example42": {
+		Name: "example42", Param: "n (threshold = leader count)",
+		Make: func(n int64) (*core.Protocol, int64, error) {
+			p, err := counting.Example42(n)
+			return p, n, err
+		},
+	},
+	"flock": {
+		Name: "flock", Param: "n (threshold)",
+		Make: func(n int64) (*core.Protocol, int64, error) {
+			p, err := counting.FlockOfBirds(n)
+			return p, n, err
+		},
+	},
+	"power2": {
+		Name: "power2", Param: "k (threshold 2^k)",
+		Make: func(k int64) (*core.Protocol, int64, error) {
+			p, err := counting.PowerOfTwo(k)
+			if err != nil {
+				return nil, 0, err
+			}
+			return p, 1 << k, nil
+		},
+	},
+	"leaderdoubling": {
+		Name: "leaderdoubling", Param: "k (threshold 2^k)",
+		Make: func(k int64) (*core.Protocol, int64, error) {
+			p, err := counting.LeaderDoubling(k)
+			if err != nil {
+				return nil, 0, err
+			}
+			return p, 1 << k, nil
+		},
+	},
+	"tower": {
+		Name: "tower", Param: "k (threshold 2^(2^k); see DESIGN.md on soundness)",
+		Make: func(k int64) (*core.Protocol, int64, error) {
+			p, err := counting.Tower(k)
+			if err != nil {
+				return nil, 0, err
+			}
+			n, err := counting.TowerThreshold(k)
+			if err != nil {
+				return nil, 0, err
+			}
+			return p, n, nil
+		},
+	},
+	"majority": {
+		Name: "majority", Param: "(ignored) decides A > B",
+		Make: func(int64) (*core.Protocol, int64, error) {
+			p, err := spec.Majority("A", "B")
+			return p, 0, err
+		},
+	},
+}
+
+// Names lists the registered constructions in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(entries))
+	for n := range entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the entry for a name.
+func Lookup(name string) (Entry, error) {
+	e, ok := entries[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("registry: unknown protocol %q (have %v)", name, Names())
+	}
+	return e, nil
+}
+
+// Make builds a named protocol.
+func Make(name string, param int64) (*core.Protocol, int64, error) {
+	e, err := Lookup(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e.Make(param)
+}

@@ -1,0 +1,77 @@
+package registry
+
+import "testing"
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("registry has %d entries, want 7: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestMakeAll(t *testing.T) {
+	params := map[string]int64{
+		"example41":      3,
+		"example42":      3,
+		"flock":          3,
+		"power2":         2,
+		"leaderdoubling": 2,
+		"tower":          1,
+		"majority":       0,
+	}
+	thresholds := map[string]int64{
+		"example41":      3,
+		"example42":      3,
+		"flock":          3,
+		"power2":         4,
+		"leaderdoubling": 4,
+		"tower":          4,
+		"majority":       0,
+	}
+	for _, name := range Names() {
+		p, n, err := Make(name, params[name])
+		if err != nil {
+			t.Errorf("Make(%s): %v", name, err)
+			continue
+		}
+		if p == nil || p.States() == 0 {
+			t.Errorf("Make(%s): empty protocol", name)
+		}
+		if n != thresholds[name] {
+			t.Errorf("Make(%s): threshold %d, want %d", name, n, thresholds[name])
+		}
+	}
+}
+
+func TestMakeUnknown(t *testing.T) {
+	if _, _, err := Make("nonsense", 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := Lookup("nonsense"); err == nil {
+		t.Error("unknown lookup accepted")
+	}
+}
+
+func TestLookupMetadata(t *testing.T) {
+	e, err := Lookup("tower")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if e.Name != "tower" || e.Param == "" {
+		t.Errorf("entry metadata: %+v", e)
+	}
+}
+
+func TestMakeInvalidParam(t *testing.T) {
+	if _, _, err := Make("example41", 0); err == nil {
+		t.Error("example41 with n=0 accepted")
+	}
+	if _, _, err := Make("tower", 99); err == nil {
+		t.Error("tower with k=99 accepted")
+	}
+}

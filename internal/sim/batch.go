@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// SweepPoint is one population size's aggregated convergence result.
+type SweepPoint struct {
+	X     int64
+	Stats Stats
+}
+
+// Sweep runs RunMany for each population size in xs concurrently (one
+// bounded worker pool, joined before return) and reports per-size
+// statistics. The expected predicate value for each x is computed by
+// expected. Results are ordered like xs regardless of scheduling.
+func Sweep(p *core.Protocol, inputState string, xs []int64, expected func(x int64) bool, trials int, opts Options) ([]SweepPoint, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("sim: empty sweep")
+	}
+	out := make([]SweepPoint, len(xs))
+	errs := make([]error, len(xs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				x := xs[idx]
+				input, err := p.Input(map[string]int64{inputState: x})
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				o := opts
+				o.Seed = opts.Seed + x*7_919 // decorrelate sizes deterministically
+				stats, err := RunMany(p, input, expected(x), trials, o)
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				out[idx] = SweepPoint{X: x, Stats: *stats}
+			}
+		}()
+	}
+	for idx := range xs {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep x=%d: %w", xs[idx], err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/counting"
+)
+
+func TestSweep(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	xs := []int64{2, 4, 8, 16}
+	points, err := Sweep(p, "i", xs, func(x int64) bool { return x >= 4 }, 5,
+		Options{Seed: 1, MaxSteps: 200_000, StablePatience: 1_000})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(points) != len(xs) {
+		t.Fatalf("points = %d, want %d", len(points), len(xs))
+	}
+	for i, pt := range points {
+		if pt.X != xs[i] {
+			t.Errorf("point %d: X = %d, want %d (order must be preserved)", i, pt.X, xs[i])
+		}
+		if pt.Stats.Converged != 5 || pt.Stats.Correct != 5 {
+			t.Errorf("x=%d: %d/%d correct of %d converged",
+				pt.X, pt.Stats.Correct, pt.Stats.Trials, pt.Stats.Converged)
+		}
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	p, err := counting.FlockOfBirds(3)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	run := func() []SweepPoint {
+		pts, err := Sweep(p, "i", []int64{3, 6}, func(x int64) bool { return x >= 3 }, 3,
+			Options{Seed: 9, MaxSteps: 100_000, StablePatience: 500})
+		if err != nil {
+			t.Fatalf("Sweep: %v", err)
+		}
+		return pts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Stats.MeanSteps != b[i].Stats.MeanSteps {
+			t.Error("sweep not deterministic across runs")
+		}
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	p, err := counting.FlockOfBirds(3)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	if _, err := Sweep(p, "i", nil, func(int64) bool { return true }, 1, Options{}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestSweepBadInputState(t *testing.T) {
+	p, err := counting.FlockOfBirds(3)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	if _, err := Sweep(p, "nope", []int64{1}, func(int64) bool { return true }, 1, Options{}); err == nil {
+		t.Error("bad input state accepted")
+	}
+}

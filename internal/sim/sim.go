@@ -1,0 +1,218 @@
+// Package sim executes protocols under a randomized scheduler: the
+// natural generalization of the classical uniform-random-pair scheduler
+// to arbitrary-width (and non-conservative) transitions, where each
+// enabled transition is selected with probability proportional to the
+// number of ways of choosing its precondition multiset from the current
+// configuration.
+//
+// All randomness is seed-driven; runs are reproducible.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+)
+
+// Options configures a run.
+type Options struct {
+	// Seed drives the PRNG. Two runs with equal seeds and inputs are
+	// identical.
+	Seed int64
+	// MaxSteps caps the number of interactions. Zero means 1<<20.
+	MaxSteps int
+	// StablePatience: the run is declared converged when the output
+	// consensus has not changed for this many consecutive steps (and at
+	// least one step was taken or the initial configuration is already
+	// a consensus). Zero means 4·MaxSteps/5 is NOT used; instead the
+	// run executes MaxSteps and reports the last step at which the
+	// consensus output changed.
+	StablePatience int
+}
+
+const defaultMaxSteps = 1 << 20
+
+// Result reports a run's outcome.
+type Result struct {
+	// Steps is the number of interactions executed.
+	Steps int
+	// LastChange is the last step index at which the configuration's
+	// output set changed; after it the output stayed constant to the
+	// end of the run.
+	LastChange int
+	// Converged reports that the run ended in (or patience-detected) a
+	// lasting output consensus.
+	Converged bool
+	// Output is the final output set.
+	Output core.OutputSet
+	// Final is the final configuration.
+	Final conf.Config
+	// Deadlocked reports that no transition was enabled.
+	Deadlocked bool
+}
+
+// ConsensusBool translates the final output set into a predicate value:
+// {1} → true, ∅ or ⊆{0} → false. ok is false when the output is mixed
+// or undetermined (★ present).
+func (r *Result) ConsensusBool() (value, ok bool) {
+	switch r.Output {
+	case core.Set1:
+		return true, true
+	case core.Set0, 0:
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// Run executes the protocol from ρ_L + input under the weighted random
+// scheduler.
+func Run(p *core.Protocol, input conf.Config, opts Options) (*Result, error) {
+	if !input.Space().Equal(p.Space()) {
+		return nil, errors.New("sim: input over wrong space")
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	cur := p.InitialConfig(input)
+	net := p.Net()
+
+	res := &Result{Output: p.OutputOf(cur)}
+	sinceChange := 0
+	for step := 1; step <= maxSteps; step++ {
+		// Weighted choice among enabled transitions.
+		var totalW float64
+		weights := make([]float64, net.Len())
+		for ti := 0; ti < net.Len(); ti++ {
+			w := instanceWeight(net.At(ti).Pre, cur)
+			weights[ti] = w
+			totalW += w
+		}
+		if totalW == 0 {
+			res.Deadlocked = true
+			break
+		}
+		pick := rng.Float64() * totalW
+		ti := 0
+		for ; ti < len(weights)-1; ti++ {
+			pick -= weights[ti]
+			if pick < 0 {
+				break
+			}
+		}
+		next, ok := net.At(ti).Fire(cur)
+		if !ok {
+			return nil, fmt.Errorf("sim: internal: weighted pick chose disabled transition %d", ti)
+		}
+		cur = next
+		res.Steps = step
+		out := p.OutputOf(cur)
+		if out != res.Output {
+			res.Output = out
+			res.LastChange = step
+			sinceChange = 0
+		} else {
+			sinceChange++
+			if opts.StablePatience > 0 && sinceChange >= opts.StablePatience && consensus(out) {
+				res.Converged = true
+				break
+			}
+		}
+	}
+	res.Final = cur
+	if res.Deadlocked && consensus(res.Output) {
+		res.Converged = true
+	}
+	if opts.StablePatience == 0 && consensus(res.Output) {
+		// Whole-run mode: converged if the tail after LastChange is a
+		// consensus.
+		res.Converged = true
+	}
+	return res, nil
+}
+
+func consensus(s core.OutputSet) bool {
+	return s == core.Set1 || s == core.Set0 || s == 0
+}
+
+// instanceWeight counts the number of distinct ways to draw the
+// multiset pre from cur: Π_p C(cur(p), pre(p)). A float64 is ample for
+// the populations the simulator targets.
+func instanceWeight(pre, cur conf.Config) float64 {
+	w := 1.0
+	for i := 0; i < cur.Space().Len(); i++ {
+		need := pre.Get(i)
+		if need == 0 {
+			continue
+		}
+		have := cur.Get(i)
+		if have < need {
+			return 0
+		}
+		w *= binom(have, need)
+	}
+	return w
+}
+
+func binom(n, k int64) float64 {
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := int64(0); i < k; i++ {
+		out *= float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+// Stats aggregates repeated runs.
+type Stats struct {
+	Trials    int
+	Converged int
+	Correct   int
+	MeanSteps float64
+	MaxSteps  int
+	// MeanLastChange is the mean step of the last output change among
+	// converged runs: the empirical "time to stable consensus".
+	MeanLastChange float64
+}
+
+// RunMany executes trials runs with derived seeds and aggregates
+// statistics, comparing each consensus with the expected predicate
+// value.
+func RunMany(p *core.Protocol, input conf.Config, expected bool, trials int, opts Options) (*Stats, error) {
+	if trials <= 0 {
+		return nil, errors.New("sim: trials must be positive")
+	}
+	stats := &Stats{Trials: trials}
+	var sumSteps, sumChange float64
+	for tr := 0; tr < trials; tr++ {
+		o := opts
+		o.Seed = opts.Seed + int64(tr)*1_000_003
+		res, err := Run(p, input, o)
+		if err != nil {
+			return nil, err
+		}
+		sumSteps += float64(res.Steps)
+		if res.Steps > stats.MaxSteps {
+			stats.MaxSteps = res.Steps
+		}
+		if res.Converged {
+			stats.Converged++
+			sumChange += float64(res.LastChange)
+			if v, ok := res.ConsensusBool(); ok && v == expected {
+				stats.Correct++
+			}
+		}
+	}
+	stats.MeanSteps = sumSteps / float64(trials)
+	if stats.Converged > 0 {
+		stats.MeanLastChange = sumChange / float64(stats.Converged)
+	}
+	return stats, nil
+}

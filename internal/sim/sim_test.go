@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/counting"
+)
+
+func input(t *testing.T, p *core.Protocol, x int64) conf.Config {
+	t.Helper()
+	in, err := p.Input(map[string]int64{"i": x})
+	if err != nil {
+		t.Fatalf("input: %v", err)
+	}
+	return in
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p, err := counting.Example42(2)
+	if err != nil {
+		t.Fatalf("Example42: %v", err)
+	}
+	in := input(t, p, 3)
+	r1, err := Run(p, in, Options{Seed: 42, MaxSteps: 2000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r2, err := Run(p, in, Options{Seed: 42, MaxSteps: 2000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r1.Steps != r2.Steps || !r1.Final.Equal(r2.Final) || r1.LastChange != r2.LastChange {
+		t.Error("same seed produced different runs")
+	}
+}
+
+func TestRunConvergesCorrectly(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int64
+		x    int64
+		want bool
+	}{
+		{"above", 2, 4, true},
+		{"at", 2, 2, true},
+		{"below", 2, 1, false},
+		{"zero", 2, 0, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := counting.Example42(tc.n)
+			if err != nil {
+				t.Fatalf("Example42: %v", err)
+			}
+			res, err := Run(p, input(t, p, tc.x), Options{Seed: 7, MaxSteps: 20_000})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !res.Converged {
+				t.Fatalf("did not converge: %+v", res)
+			}
+			got, ok := res.ConsensusBool()
+			if !ok {
+				t.Fatalf("no consensus: output %v", res.Output)
+			}
+			if got != tc.want {
+				t.Errorf("consensus = %v, want %v (final %v)", got, tc.want, res.Final)
+			}
+		})
+	}
+}
+
+func TestRunFlockDeadlocksBelowThreshold(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	// x=1: single agent, no pair: immediate deadlock at output {0}.
+	res, err := Run(p, input(t, p, 1), Options{Seed: 1, MaxSteps: 100})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Deadlocked || !res.Converged {
+		t.Errorf("expected deadlock convergence, got %+v", res)
+	}
+	if v, ok := res.ConsensusBool(); !ok || v {
+		t.Errorf("consensus = %v,%v; want false,true", v, ok)
+	}
+}
+
+func TestRunPatience(t *testing.T) {
+	p, err := counting.FlockOfBirds(3)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	res, err := Run(p, input(t, p, 5), Options{Seed: 3, MaxSteps: 100_000, StablePatience: 200})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("patience did not trigger: %+v", res)
+	}
+	if v, _ := res.ConsensusBool(); !v {
+		t.Errorf("flock(3) with x=5 should accept; final %v", res.Final)
+	}
+}
+
+func TestRunWrongSpace(t *testing.T) {
+	p, err := counting.Example42(2)
+	if err != nil {
+		t.Fatalf("Example42: %v", err)
+	}
+	if _, err := Run(p, conf.New(conf.MustSpace("zz")), Options{}); err == nil {
+		t.Error("wrong-space input accepted")
+	}
+}
+
+func TestRunMany(t *testing.T) {
+	p, err := counting.Example42(2)
+	if err != nil {
+		t.Fatalf("Example42: %v", err)
+	}
+	stats, err := RunMany(p, input(t, p, 3), true, 20, Options{Seed: 11, MaxSteps: 20_000})
+	if err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
+	if stats.Converged != 20 {
+		t.Errorf("converged = %d/20", stats.Converged)
+	}
+	if stats.Correct != 20 {
+		t.Errorf("correct = %d/20", stats.Correct)
+	}
+	if stats.MeanSteps <= 0 || stats.MaxSteps <= 0 {
+		t.Errorf("step stats empty: %+v", stats)
+	}
+	if _, err := RunMany(p, input(t, p, 3), true, 0, Options{}); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestInstanceWeight(t *testing.T) {
+	space := conf.MustSpace("a", "b")
+	pre := conf.MustFromMap(space, map[string]int64{"a": 2})
+	cur := conf.MustFromMap(space, map[string]int64{"a": 4, "b": 1})
+	// C(4,2) = 6.
+	if w := instanceWeight(pre, cur); w != 6 {
+		t.Errorf("weight = %v, want 6", w)
+	}
+	// Disabled: zero weight.
+	tooMuch := conf.MustFromMap(space, map[string]int64{"a": 5})
+	if w := instanceWeight(tooMuch, cur); w != 0 {
+		t.Errorf("weight = %v, want 0", w)
+	}
+	// Empty pre (creation-only transition): weight 1.
+	if w := instanceWeight(conf.New(space), cur); w != 1 {
+		t.Errorf("empty pre weight = %v, want 1", w)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	tests := []struct {
+		n, k int64
+		want float64
+	}{
+		{5, 2, 10}, {6, 3, 20}, {4, 0, 1}, {3, 3, 1},
+	}
+	for _, tc := range tests {
+		if got := binom(tc.n, tc.k); got != tc.want {
+			t.Errorf("binom(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/petri"
+)
+
+// Compile translates a predicate into a conservative width-2 leaderless
+// protocol whose initial states are exactly the predicate's variables.
+func Compile(p Pred) (*core.Protocol, error) {
+	return compileWith(p, p.Vars())
+}
+
+func compileWith(p Pred, vars []string) (*core.Protocol, error) {
+	switch q := p.(type) {
+	case Threshold:
+		return compileThreshold(q, vars)
+	case Remainder:
+		return compileRemainder(q, vars)
+	case And:
+		return compileProduct(q.L, q.R, vars, andOutput, "and")
+	case Or:
+		return compileProduct(q.L, q.R, vars, orOutput, "or")
+	case Not:
+		inner, err := compileWith(q.P, vars)
+		if err != nil {
+			return nil, err
+		}
+		return negate(inner)
+	default:
+		return nil, fmt.Errorf("spec: cannot compile %T", p)
+	}
+}
+
+// transitionBuilder accumulates deduplicated transitions.
+type transitionBuilder struct {
+	space *conf.Space
+	seen  map[string]bool
+	trans []petri.Transition
+	next  int
+}
+
+func newTransitionBuilder(space *conf.Space) *transitionBuilder {
+	return &transitionBuilder{space: space, seen: make(map[string]bool)}
+}
+
+func (b *transitionBuilder) add(pre, post conf.Config) error {
+	key := pre.Key() + "|" + post.Key()
+	if b.seen[key] {
+		return nil
+	}
+	b.seen[key] = true
+	t, err := petri.NewTransition(fmt.Sprintf("t%d", b.next), pre, post)
+	if err != nil {
+		return err
+	}
+	b.next++
+	b.trans = append(b.trans, t)
+	return nil
+}
+
+// compileThreshold builds the weighted flock-of-birds protocol for
+// Σ w_v·x_v ≥ c.
+//
+// States: one input state per variable (value w_v), accumulator states
+// v1..v(c−1), a passive zero state z, and the saturated broadcast ⊤.
+// Two value-bearing agents merge; a pair summing to ≥ c saturates; ⊤
+// converts everyone. γ is 1 exactly on ⊤ and on input states whose
+// weight alone meets the threshold.
+func compileThreshold(t Threshold, vars []string) (*core.Protocol, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), vars...)
+	for k := int64(1); k <= t.C-1; k++ {
+		names = append(names, fmt.Sprintf("v%d", k))
+	}
+	names = append(names, "z", "T")
+	space, err := conf.NewSpace(names...)
+	if err != nil {
+		return nil, err
+	}
+	u := func(name string) conf.Config { return conf.MustUnit(space, name) }
+
+	// value of each value-bearing state; z and T are excluded.
+	value := make(map[string]int64, len(names))
+	for _, v := range vars {
+		value[v] = t.Weights[v]
+	}
+	for k := int64(1); k <= t.C-1; k++ {
+		value[fmt.Sprintf("v%d", k)] = k
+	}
+	accState := func(k int64) string {
+		if k == 0 {
+			return "z"
+		}
+		return fmt.Sprintf("v%d", k)
+	}
+
+	b := newTransitionBuilder(space)
+	valueNames := make([]string, 0, len(value))
+	for _, n := range names {
+		if _, ok := value[n]; ok {
+			valueNames = append(valueNames, n)
+		}
+	}
+	for ai, a := range valueNames {
+		for _, bn := range valueNames[ai:] {
+			sum := value[a] + value[bn]
+			pre := u(a).Add(u(bn))
+			var post conf.Config
+			if sum >= t.C {
+				post = u("T").Add(u("T"))
+			} else {
+				post = u(accState(sum)).Add(u("z"))
+			}
+			if err := b.add(pre, post); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, s := range names {
+		if s == "T" {
+			continue
+		}
+		if err := b.add(u("T").Add(u(s)), u("T").Add(u("T"))); err != nil {
+			return nil, err
+		}
+	}
+	net, err := petri.New(space, b.trans)
+	if err != nil {
+		return nil, err
+	}
+	gamma := make(map[string]core.Output, len(names))
+	for _, s := range names {
+		gamma[s] = core.Out0
+	}
+	gamma["T"] = core.Out1
+	for _, v := range vars {
+		if t.Weights[v] >= t.C {
+			gamma[v] = core.Out1 // a lone such agent already satisfies φ
+		}
+	}
+	return core.NewProtocol("threshold["+t.String()+"]", net, conf.New(space), vars, gamma)
+}
+
+// compileRemainder builds the residue protocol for Σ w_v·x_v ≡ r (mod m).
+//
+// Value-bearing agents merge into a single surviving residue agent;
+// everyone else becomes a follower carrying the opinion of the last
+// value agent they met. With exactly one value agent left, its residue
+// is Σ w_v·x_v mod m and followers converge to the correct opinion.
+func compileRemainder(r Remainder, vars []string) (*core.Protocol, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), vars...)
+	for k := int64(0); k < r.M; k++ {
+		names = append(names, fmt.Sprintf("r%d", k))
+	}
+	names = append(names, "f0", "f1")
+	space, err := conf.NewSpace(names...)
+	if err != nil {
+		return nil, err
+	}
+	u := func(name string) conf.Config { return conf.MustUnit(space, name) }
+
+	value := make(map[string]int64, len(names))
+	for _, v := range vars {
+		value[v] = mod(r.Weights[v], r.M)
+	}
+	for k := int64(0); k < r.M; k++ {
+		value[fmt.Sprintf("r%d", k)] = k
+	}
+	follower := func(v int64) string {
+		if v == r.R {
+			return "f1"
+		}
+		return "f0"
+	}
+
+	b := newTransitionBuilder(space)
+	valueNames := make([]string, 0, len(value))
+	for _, n := range names {
+		if _, ok := value[n]; ok {
+			valueNames = append(valueNames, n)
+		}
+	}
+	// Merge two value agents: one keeps the combined residue, the other
+	// becomes a follower with the combined residue's opinion.
+	for ai, a := range valueNames {
+		for _, bn := range valueNames[ai:] {
+			sum := mod(value[a]+value[bn], r.M)
+			pre := u(a).Add(u(bn))
+			post := u(fmt.Sprintf("r%d", sum)).Add(u(follower(sum)))
+			if err := b.add(pre, post); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Followers adopt the opinion of any value agent they meet.
+	for _, vn := range valueNames {
+		want := follower(value[vn])
+		for _, f := range []string{"f0", "f1"} {
+			if f == want {
+				continue
+			}
+			if err := b.add(u(vn).Add(u(f)), u(vn).Add(u(want))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	net, err := petri.New(space, b.trans)
+	if err != nil {
+		return nil, err
+	}
+	gamma := make(map[string]core.Output, len(names))
+	for vn, v := range value {
+		if v == r.R {
+			gamma[vn] = core.Out1
+		} else {
+			gamma[vn] = core.Out0
+		}
+	}
+	gamma["f0"] = core.Out0
+	gamma["f1"] = core.Out1
+	return core.NewProtocol("remainder["+r.String()+"]", net, conf.New(space), vars, gamma)
+}
+
+// negate flips the output function of a compiled protocol.
+func negate(p *core.Protocol) (*core.Protocol, error) {
+	gamma := make(map[string]core.Output, p.States())
+	for i := 0; i < p.States(); i++ {
+		name := p.Space().Name(i)
+		switch p.Gamma(i) {
+		case core.Out0:
+			gamma[name] = core.Out1
+		case core.Out1:
+			gamma[name] = core.Out0
+		default:
+			gamma[name] = core.OutStar
+		}
+	}
+	return core.NewProtocol("not["+p.Name()+"]", p.Net(), p.Leaders(), p.InitialStates(), gamma)
+}
+
+func andOutput(a, b core.Output) core.Output {
+	if a == core.Out0 || b == core.Out0 {
+		return core.Out0
+	}
+	if a == core.Out1 && b == core.Out1 {
+		return core.Out1
+	}
+	return core.OutStar
+}
+
+func orOutput(a, b core.Output) core.Output {
+	if a == core.Out1 || b == core.Out1 {
+		return core.Out1
+	}
+	if a == core.Out0 && b == core.Out0 {
+		return core.Out0
+	}
+	return core.OutStar
+}
+
+// compileProduct builds the synchronized product of the two compiled
+// children: states are pairs, and each interaction advances one
+// component while the other is carried unchanged. Both children must be
+// leaderless with every transition consuming and producing exactly two
+// agents.
+func compileProduct(l, r Pred, vars []string, outOp func(a, b core.Output) core.Output, opName string) (*core.Protocol, error) {
+	pl, err := compileWith(l, vars)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := compileWith(r, vars)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []*core.Protocol{pl, pr} {
+		if !p.Leaderless() {
+			return nil, errors.New("spec: product requires leaderless components")
+		}
+		for _, t := range p.Net().Transitions() {
+			if t.Pre.Agents() != 2 || t.Post.Agents() != 2 {
+				return nil, fmt.Errorf("spec: product requires 2→2 transitions, %q is not", t.Name)
+			}
+		}
+	}
+	ls, rs := pl.Space(), pr.Space()
+	pairName := func(a, b string) string { return a + "|" + b }
+	var names []string
+	for i := 0; i < ls.Len(); i++ {
+		for j := 0; j < rs.Len(); j++ {
+			names = append(names, pairName(ls.Name(i), rs.Name(j)))
+		}
+	}
+	space, err := conf.NewSpace(names...)
+	if err != nil {
+		return nil, err
+	}
+	u := func(name string) conf.Config { return conf.MustUnit(space, name) }
+	b := newTransitionBuilder(space)
+
+	// orderedPairs expands a 2-agent multiset into its ordered splits.
+	orderedPairs := func(c conf.Config) [][2]string {
+		var agents []string
+		for _, idx := range c.Support() {
+			for n := int64(0); n < c.Get(idx); n++ {
+				agents = append(agents, c.Space().Name(idx))
+			}
+		}
+		if len(agents) != 2 {
+			return nil
+		}
+		if agents[0] == agents[1] {
+			return [][2]string{{agents[0], agents[1]}}
+		}
+		return [][2]string{{agents[0], agents[1]}, {agents[1], agents[0]}}
+	}
+
+	// Left component moves, right carried.
+	for _, t := range pl.Net().Transitions() {
+		pres := orderedPairs(t.Pre)
+		posts := orderedPairs(t.Post)
+		for _, pp := range pres {
+			post := posts[0] // fix one orientation; the other is covered by pre orderings
+			for j1 := 0; j1 < rs.Len(); j1++ {
+				for j2 := 0; j2 < rs.Len(); j2++ {
+					pre := u(pairName(pp[0], rs.Name(j1))).Add(u(pairName(pp[1], rs.Name(j2))))
+					pst := u(pairName(post[0], rs.Name(j1))).Add(u(pairName(post[1], rs.Name(j2))))
+					if err := b.add(pre, pst); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	// Right component moves, left carried.
+	for _, t := range pr.Net().Transitions() {
+		pres := orderedPairs(t.Pre)
+		posts := orderedPairs(t.Post)
+		for _, pp := range pres {
+			post := posts[0]
+			for i1 := 0; i1 < ls.Len(); i1++ {
+				for i2 := 0; i2 < ls.Len(); i2++ {
+					pre := u(pairName(ls.Name(i1), pp[0])).Add(u(pairName(ls.Name(i2), pp[1])))
+					pst := u(pairName(ls.Name(i1), post[0])).Add(u(pairName(ls.Name(i2), post[1])))
+					if err := b.add(pre, pst); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	net, err := petri.New(space, b.trans)
+	if err != nil {
+		return nil, err
+	}
+	gamma := make(map[string]core.Output, len(names))
+	for i := 0; i < ls.Len(); i++ {
+		gl := pl.Gamma(i)
+		for j := 0; j < rs.Len(); j++ {
+			gamma[pairName(ls.Name(i), rs.Name(j))] = outOp(gl, pr.Gamma(j))
+		}
+	}
+	initial := make([]string, 0, len(vars))
+	for _, v := range vars {
+		initial = append(initial, pairName(v, v))
+	}
+	name := fmt.Sprintf("%s[%s ; %s]", opName, pl.Name(), pr.Name())
+	return core.NewProtocol(name, net, conf.New(space), initial, gamma)
+}
+
+// Majority builds the classical 4-state cancellation protocol for the
+// strict majority predicate x_A > x_B (ties reject): states {A, B, a,
+// b}, rules (A,B)→(b,b), (A,b)→(A,a), (B,a)→(B,b), (b,a)→(b,b).
+//
+// The last rule resolves ties: once every A has cancelled against a B,
+// the b tokens produced by cancellations convert leftover a followers,
+// so the all-b (reject) consensus is reachable and stable. Without it,
+// configurations like a+3b would be terminal without consensus.
+func Majority(varA, varB string) (*core.Protocol, error) {
+	if varA == "" || varB == "" || varA == varB {
+		return nil, errors.New("spec: majority needs two distinct variables")
+	}
+	space, err := conf.NewSpace(varA, varB, "a", "b")
+	if err != nil {
+		return nil, err
+	}
+	u := func(name string) conf.Config { return conf.MustUnit(space, name) }
+	b := newTransitionBuilder(space)
+	if err := b.add(u(varA).Add(u(varB)), u("b").Add(u("b"))); err != nil {
+		return nil, err
+	}
+	if err := b.add(u(varA).Add(u("b")), u(varA).Add(u("a"))); err != nil {
+		return nil, err
+	}
+	if err := b.add(u(varB).Add(u("a")), u(varB).Add(u("b"))); err != nil {
+		return nil, err
+	}
+	if err := b.add(u("b").Add(u("a")), u("b").Add(u("b"))); err != nil {
+		return nil, err
+	}
+	net, err := petri.New(space, b.trans)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewProtocol(fmt.Sprintf("majority[%s>%s]", varA, varB), net, conf.New(space),
+		[]string{varA, varB}, map[string]core.Output{
+			varA: core.Out1, "a": core.Out1,
+			varB: core.Out0, "b": core.Out0,
+		})
+}
+
+// MajorityPred returns the predicate x_A > x_B for cross-checking the
+// Majority protocol.
+func MajorityPred(varA, varB string) Pred { return majority{a: varA, b: varB} }
+
+type majority struct{ a, b string }
+
+func (m majority) Eval(counts map[string]int64) bool { return counts[m.a] > counts[m.b] }
+func (m majority) Vars() []string {
+	vars := []string{m.a, m.b}
+	if vars[0] > vars[1] {
+		vars[0], vars[1] = vars[1], vars[0]
+	}
+	return vars
+}
+func (m majority) String() string { return m.a + " > " + m.b }

@@ -1,0 +1,197 @@
+// Package spec represents the simple Presburger predicates population
+// protocols compute — thresholds, remainders, boolean combinations —
+// and compiles them into conservative width-2 protocols.
+//
+// Supported fragment:
+//
+//   - Threshold: Σ w_v·x_v ≥ c with non-negative weights and c ≥ 1,
+//     compiled to a weighted flock-of-birds (saturating merge with a
+//     broadcast ⊤). This is provably stably computing.
+//   - Remainder: Σ w_v·x_v ≡ r (mod m), compiled to a residue-merging
+//     protocol with follower states.
+//   - And / Or / Not over the above, via the synchronized-product
+//     construction.
+//   - Majority (x_A > x_B), the classical 4-state cancellation
+//     protocol, as a standalone constructor.
+//
+// Mixed-sign thresholds require the full Angluin–Aspnes–Diamadi–
+// Fischer–Peralta machinery and are intentionally out of scope; see
+// DESIGN.md.
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pred is a predicate φ: ℕ^Vars → {0, 1}.
+type Pred interface {
+	// Eval evaluates the predicate on variable counts (absent = 0).
+	Eval(counts map[string]int64) bool
+	// Vars returns the sorted variable names the predicate mentions.
+	Vars() []string
+	// String renders the predicate.
+	String() string
+}
+
+// Threshold is Σ w_v·x_v ≥ C with w_v ≥ 0 and C ≥ 1.
+type Threshold struct {
+	Weights map[string]int64
+	C       int64
+}
+
+// Eval implements Pred.
+func (t Threshold) Eval(counts map[string]int64) bool {
+	var sum int64
+	for v, w := range t.Weights {
+		sum += w * counts[v]
+	}
+	return sum >= t.C
+}
+
+// Vars implements Pred.
+func (t Threshold) Vars() []string { return sortedKeys(t.Weights) }
+
+// String implements Pred.
+func (t Threshold) String() string {
+	return fmt.Sprintf("%s ≥ %d", renderSum(t.Weights), t.C)
+}
+
+func (t Threshold) validate() error {
+	if t.C < 1 {
+		return fmt.Errorf("spec: threshold constant %d, want ≥ 1", t.C)
+	}
+	if len(t.Weights) == 0 {
+		return errors.New("spec: threshold with no variables")
+	}
+	for v, w := range t.Weights {
+		if w < 0 {
+			return fmt.Errorf("spec: negative weight %d for %q (mixed-sign thresholds unsupported)", w, v)
+		}
+	}
+	return nil
+}
+
+// Remainder is Σ w_v·x_v ≡ R (mod M) with M ≥ 1 and 0 ≤ R < M.
+type Remainder struct {
+	Weights map[string]int64
+	M, R    int64
+}
+
+// Eval implements Pred.
+func (r Remainder) Eval(counts map[string]int64) bool {
+	var sum int64
+	for v, w := range r.Weights {
+		sum += w * counts[v]
+	}
+	return mod(sum, r.M) == r.R
+}
+
+// Vars implements Pred.
+func (r Remainder) Vars() []string { return sortedKeys(r.Weights) }
+
+// String implements Pred.
+func (r Remainder) String() string {
+	return fmt.Sprintf("%s ≡ %d (mod %d)", renderSum(r.Weights), r.R, r.M)
+}
+
+func (r Remainder) validate() error {
+	if r.M < 1 {
+		return fmt.Errorf("spec: modulus %d, want ≥ 1", r.M)
+	}
+	if r.R < 0 || r.R >= r.M {
+		return fmt.Errorf("spec: remainder %d outside [0, %d)", r.R, r.M)
+	}
+	if len(r.Weights) == 0 {
+		return errors.New("spec: remainder with no variables")
+	}
+	for v, w := range r.Weights {
+		if w < 0 {
+			return fmt.Errorf("spec: negative weight %d for %q", w, v)
+		}
+	}
+	return nil
+}
+
+// And is conjunction.
+type And struct{ L, R Pred }
+
+// Eval implements Pred.
+func (a And) Eval(counts map[string]int64) bool { return a.L.Eval(counts) && a.R.Eval(counts) }
+
+// Vars implements Pred.
+func (a And) Vars() []string { return unionVars(a.L, a.R) }
+
+// String implements Pred.
+func (a And) String() string { return "(" + a.L.String() + ") ∧ (" + a.R.String() + ")" }
+
+// Or is disjunction.
+type Or struct{ L, R Pred }
+
+// Eval implements Pred.
+func (o Or) Eval(counts map[string]int64) bool { return o.L.Eval(counts) || o.R.Eval(counts) }
+
+// Vars implements Pred.
+func (o Or) Vars() []string { return unionVars(o.L, o.R) }
+
+// String implements Pred.
+func (o Or) String() string { return "(" + o.L.String() + ") ∨ (" + o.R.String() + ")" }
+
+// Not is negation.
+type Not struct{ P Pred }
+
+// Eval implements Pred.
+func (n Not) Eval(counts map[string]int64) bool { return !n.P.Eval(counts) }
+
+// Vars implements Pred.
+func (n Not) Vars() []string { return n.P.Vars() }
+
+// String implements Pred.
+func (n Not) String() string { return "¬(" + n.P.String() + ")" }
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func unionVars(l, r Pred) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, v := range append(l.Vars(), r.Vars()...) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func renderSum(weights map[string]int64) string {
+	var b strings.Builder
+	for i, v := range sortedKeys(weights) {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		if weights[v] == 1 {
+			b.WriteString(v)
+			continue
+		}
+		fmt.Fprintf(&b, "%d·%s", weights[v], v)
+	}
+	return b.String()
+}
+
+func mod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

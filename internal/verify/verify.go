@@ -1,0 +1,179 @@
+// Package verify decides stable computation on bounded instances: given
+// a protocol, an input and the expected predicate value, it builds the
+// exact reachability closure of the initial configuration and checks
+// the Section 2 condition
+//
+//	∀α: ρ_L + ρ|_P —T*→ α  ⟹  ∃β ∈ S_{φ(ρ)}: α —T*→ β
+//
+// by SCC/reachability analysis of the closure. The general problem is
+// equivalent to Petri-net reachability and therefore
+// Ackermannian-complete ([9, 10] + [8, 11]); this verifier is exact but
+// bounded, and reports budget exhaustion as an error instead of
+// guessing.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/petri"
+)
+
+// Predicate is a predicate φ: ℕ^I → {0, 1} evaluated on input
+// configurations.
+type Predicate func(input conf.Config) bool
+
+// CountingPredicate returns φ_{i≥n} for the named initial state.
+func CountingPredicate(state string, n int64) Predicate {
+	return func(input conf.Config) bool {
+		return input.GetName(state) >= n
+	}
+}
+
+// Report is the outcome of one input's verification.
+type Report struct {
+	// Input is the verified input configuration ρ.
+	Input conf.Config
+	// Expected is φ(ρ).
+	Expected bool
+	// OK reports that the stable-computation condition holds for this
+	// input.
+	OK bool
+	// Configs is the size of the reachability closure.
+	Configs int
+	// StableConfigs is the number of closure members in S_{φ(ρ)}.
+	StableConfigs int
+	// Counterexample, when OK is false, is a reachable configuration
+	// from which no φ(ρ)-output-stable configuration is reachable.
+	Counterexample *conf.Config
+}
+
+// Input checks stable computation for a single input.
+func Input(p *core.Protocol, input conf.Config, pred Predicate, budget petri.Budget) (*Report, error) {
+	expected := pred(input)
+	initial := p.InitialConfig(input)
+	rs, err := p.Net().Reach(initial, budget)
+	if err != nil {
+		return nil, fmt.Errorf("verify %v: %w", input, err)
+	}
+	adj := rs.AdjacencyLists()
+
+	// A node is "bad" for output j when its own output set already
+	// violates S_j membership; a node is in S_j iff it cannot reach a
+	// bad node (the closure is forward-closed, so this is exact).
+	var bad []int
+	for id := 0; id < rs.Len(); id++ {
+		out := p.OutputOf(rs.Config(id))
+		violates := out != core.Set1
+		if !expected {
+			violates = out&(core.SetStar|core.Set1) != 0
+		}
+		if violates {
+			bad = append(bad, id)
+		}
+	}
+	reachesBad := graph.CanReach(adj, bad)
+	var stable []int
+	for id := 0; id < rs.Len(); id++ {
+		if !reachesBad[id] {
+			stable = append(stable, id)
+		}
+	}
+	report := &Report{
+		Input:         input.Clone(),
+		Expected:      expected,
+		Configs:       rs.Len(),
+		StableConfigs: len(stable),
+	}
+	if len(stable) == 0 {
+		report.OK = false
+		c := rs.Config(0)
+		report.Counterexample = &c
+		return report, nil
+	}
+	canStabilize := graph.CanReach(adj, stable)
+	report.OK = true
+	for id := 0; id < rs.Len(); id++ {
+		if !canStabilize[id] {
+			report.OK = false
+			c := rs.Config(id)
+			report.Counterexample = &c
+			break
+		}
+	}
+	return report, nil
+}
+
+// RangeResult aggregates the verification of many inputs.
+type RangeResult struct {
+	Reports []Report
+	// Failures indexes the reports that are not OK.
+	Failures []int
+	// MaxConfigs is the largest closure encountered.
+	MaxConfigs int
+}
+
+// OK reports whether every input verified.
+func (r *RangeResult) OK() bool { return len(r.Failures) == 0 }
+
+// FirstFailure returns the first failing report, or nil.
+func (r *RangeResult) FirstFailure() *Report {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	return &r.Reports[r.Failures[0]]
+}
+
+// Range verifies every input with total agent count in [minTotal,
+// maxTotal] over the protocol's initial states: the bounded analogue of
+// the well-specification problem for the given predicate.
+func Range(p *core.Protocol, pred Predicate, minTotal, maxTotal int64, budget petri.Budget) (*RangeResult, error) {
+	if minTotal < 0 || maxTotal < minTotal {
+		return nil, errors.New("verify: invalid total range")
+	}
+	inputSpace, err := conf.NewSpace(p.InitialStates()...)
+	if err != nil {
+		return nil, err
+	}
+	result := &RangeResult{}
+	for total := minTotal; total <= maxTotal; total++ {
+		var inputs []conf.Config
+		if err := conf.EnumerateTotal(inputSpace, total, func(c conf.Config) bool {
+			inputs = append(inputs, c.Clone())
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		for _, ic := range inputs {
+			embedded, err := ic.Embed(p.Space())
+			if err != nil {
+				return nil, err
+			}
+			report, err := Input(p, embedded, pred, budget)
+			if err != nil {
+				return nil, err
+			}
+			if report.Configs > result.MaxConfigs {
+				result.MaxConfigs = report.Configs
+			}
+			result.Reports = append(result.Reports, *report)
+			if !report.OK {
+				result.Failures = append(result.Failures, len(result.Reports)-1)
+			}
+		}
+	}
+	return result, nil
+}
+
+// Counting verifies a protocol against φ_{i≥n} for all input sizes
+// x ∈ [0, maxX]: the standard acceptance test for the counting
+// constructions of Section 4.
+func Counting(p *core.Protocol, state string, n int64, maxX int64, budget petri.Budget) (*RangeResult, error) {
+	if len(p.InitialStates()) != 1 || p.InitialStates()[0] != state {
+		return nil, fmt.Errorf("verify: counting protocols must have I = {%s}", state)
+	}
+	return Range(p, CountingPredicate(state, n), 0, maxX, budget)
+}

@@ -1,0 +1,147 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/counting"
+	"repro/internal/petri"
+)
+
+var budget = petri.Budget{MaxConfigs: 1 << 18}
+
+func TestCountingPredicate(t *testing.T) {
+	space := conf.MustSpace("i", "p")
+	pred := CountingPredicate("i", 3)
+	if pred(conf.MustFromMap(space, map[string]int64{"i": 2})) {
+		t.Error("pred(2) = true")
+	}
+	if !pred(conf.MustFromMap(space, map[string]int64{"i": 3})) {
+		t.Error("pred(3) = false")
+	}
+}
+
+func TestInputExample42(t *testing.T) {
+	p, err := counting.Example42(2)
+	if err != nil {
+		t.Fatalf("Example42: %v", err)
+	}
+	for x := int64(0); x <= 4; x++ {
+		input := conf.MustFromMap(p.Space(), map[string]int64{"i": x})
+		report, err := Input(p, input, CountingPredicate("i", 2), budget)
+		if err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		if !report.OK {
+			t.Errorf("x=%d: stable computation fails; counterexample %v", x, report.Counterexample)
+		}
+		if report.Expected != (x >= 2) {
+			t.Errorf("x=%d: Expected = %v", x, report.Expected)
+		}
+		if report.StableConfigs == 0 {
+			t.Errorf("x=%d: no stable configurations", x)
+		}
+	}
+}
+
+// A deliberately broken protocol: output 1 for i, 0 for p, and a
+// transition i -> p, so from 2·i the output flaps and... actually that
+// one stably computes "false" for nothing. Build a protocol that is NOT
+// well-specified: i <-> p with γ(i)=1, γ(p)=0 flips forever and neither
+// stable set is reachable.
+func TestInputDetectsIllSpecified(t *testing.T) {
+	space := conf.MustSpace("i", "p")
+	u := func(n string) conf.Config { return conf.MustUnit(space, n) }
+	t1, err := petri.NewTransition("ip", u("i"), u("p"))
+	if err != nil {
+		t.Fatalf("transition: %v", err)
+	}
+	t2, err := petri.NewTransition("pi", u("p"), u("i"))
+	if err != nil {
+		t.Fatalf("transition: %v", err)
+	}
+	net, err := petri.New(space, []petri.Transition{t1, t2})
+	if err != nil {
+		t.Fatalf("net: %v", err)
+	}
+	p, err := core.NewProtocol("flipflop", net, conf.New(space), []string{"i"},
+		map[string]core.Output{"i": core.Out1, "p": core.Out0})
+	if err != nil {
+		t.Fatalf("NewProtocol: %v", err)
+	}
+	input := conf.MustFromMap(space, map[string]int64{"i": 1})
+	// Whatever the predicate claims, the flip-flop never stabilizes.
+	for _, expected := range []bool{true, false} {
+		pred := func(conf.Config) bool { return expected }
+		report, err := Input(p, input, pred, budget)
+		if err != nil {
+			t.Fatalf("Input: %v", err)
+		}
+		if report.OK {
+			t.Errorf("expected=%v: flip-flop accepted as stably computing", expected)
+		}
+		if report.Counterexample == nil {
+			t.Errorf("expected=%v: no counterexample reported", expected)
+		}
+	}
+}
+
+func TestInputBudgetError(t *testing.T) {
+	space := conf.MustSpace("i", "b")
+	u := func(n string) conf.Config { return conf.MustUnit(space, n) }
+	pump, err := petri.NewTransition("pump", u("i"), u("i").Add(u("b")))
+	if err != nil {
+		t.Fatalf("transition: %v", err)
+	}
+	net, err := petri.New(space, []petri.Transition{pump})
+	if err != nil {
+		t.Fatalf("net: %v", err)
+	}
+	p, err := core.NewProtocol("pumper", net, conf.New(space), []string{"i"},
+		map[string]core.Output{"i": core.Out0, "b": core.Out0})
+	if err != nil {
+		t.Fatalf("NewProtocol: %v", err)
+	}
+	input := conf.MustFromMap(space, map[string]int64{"i": 1})
+	_, err = Input(p, input, func(conf.Config) bool { return false }, petri.Budget{MaxConfigs: 4})
+	if !errors.Is(err, petri.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestRangeExample41(t *testing.T) {
+	p, err := counting.Example41(3)
+	if err != nil {
+		t.Fatalf("Example41: %v", err)
+	}
+	res, err := Counting(p, "i", 3, 5, budget)
+	if err != nil {
+		t.Fatalf("Counting: %v", err)
+	}
+	if !res.OK() {
+		f := res.FirstFailure()
+		t.Fatalf("Example 4.1 fails at %v (expected %v)", f.Input, f.Expected)
+	}
+	// Inputs 0..5 = 6 reports.
+	if len(res.Reports) != 6 {
+		t.Errorf("reports = %d, want 6", len(res.Reports))
+	}
+	if res.MaxConfigs == 0 {
+		t.Error("MaxConfigs = 0")
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	p, err := counting.Example41(2)
+	if err != nil {
+		t.Fatalf("Example41: %v", err)
+	}
+	if _, err := Range(p, CountingPredicate("i", 2), 3, 1, budget); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := Counting(p, "p", 2, 3, budget); err == nil {
+		t.Error("wrong counting state accepted")
+	}
+}
