@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/conf"
+	"repro/internal/core"
 	"repro/internal/counting"
 	"repro/internal/experiments"
 	"repro/internal/hilbert"
@@ -158,6 +159,104 @@ func BenchmarkSimulation(b *testing.B) {
 		if v, ok := res.ConsensusBool(); !ok || !v {
 			b.Fatalf("unexpected outcome %+v", res)
 		}
+	}
+}
+
+// --- sweep benchmarks: the simulation-bound experiment workloads ---
+
+// BenchmarkSweepFlock measures the full sweep pipeline at default
+// populations: flock(8) convergence statistics across four population
+// sizes, eight trials each, on the incremental engine.
+func BenchmarkSweepFlock(b *testing.B) {
+	p, err := counting.FlockOfBirds(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := []int64{16, 32, 64, 128}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := sim.Sweep(p, "i", xs, func(x int64) bool { return x >= 8 }, 8,
+			sim.Options{Seed: 42, MaxSteps: 400_000, StablePatience: 2_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range pts {
+			if pt.Stats.Correct != pt.Stats.Trials {
+				b.Fatalf("x=%d: %d/%d correct", pt.X, pt.Stats.Correct, pt.Stats.Trials)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepSchedulers compares the three schedulers on one
+// RunMany workload: flock(8) with 64 agents.
+func BenchmarkSweepSchedulers(b *testing.B) {
+	p, err := counting.FlockOfBirds(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input, err := p.Input(map[string]int64{"i": 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sched := range []sim.Scheduler{sim.Weighted{}, sim.UniformPairs{}, sim.Batched{}} {
+		b.Run(sched.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stats, err := sim.RunMany(p, input, true, 8, sim.Options{
+					Seed: 42, MaxSteps: 400_000, StablePatience: 2_000, Scheduler: sched,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Correct != stats.Trials {
+					b.Fatalf("%d/%d correct", stats.Correct, stats.Trials)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStepThroughput measures the raw per-interaction cost of the
+// incremental engine: one long weighted run on a flip-flop net that
+// can never deadlock (2a ⇄ 2b from an even population keeps both
+// transitions recurrently enabled), b.N interactions per op, so ns/op
+// IS ns/step.
+func BenchmarkStepThroughput(b *testing.B) {
+	space := conf.MustSpace("a", "b")
+	u := func(n string) conf.Config { return conf.MustUnit(space, n) }
+	mk := func(name string, pre, post conf.Config) petri.Transition {
+		tr, err := petri.NewTransition(name, pre, post)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tr
+	}
+	net, err := petri.New(space, []petri.Transition{
+		mk("ab", u("a").Scale(2), u("b").Scale(2)),
+		mk("ba", u("b").Scale(2), u("a").Scale(2)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewProtocol("flipflop", net, conf.New(space), []string{"a"},
+		map[string]core.Output{"a": core.Out0, "b": core.Out0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input, err := p.Input(map[string]int64{"a": 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := sim.Run(p, input, sim.Options{Seed: 9, MaxSteps: b.N})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Steps != b.N {
+		b.Fatalf("executed %d steps, want %d", res.Steps, b.N)
 	}
 }
 

@@ -4,14 +4,24 @@
 //
 // Usage:
 //
-//	ppbench            # run every experiment
-//	ppbench E3 E8      # run selected experiments by id
+//	ppbench                      # run every experiment
+//	ppbench E3 E8                # run selected experiments by id
+//	ppbench -json bench.json     # also record per-experiment timings
+//
+// With -json, per-experiment timing results (name, wall time in ns,
+// heap allocation count) are written to the given path so successive
+// PRs can track the perf trajectory in BENCH_*.json files.
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -23,25 +33,62 @@ func main() {
 	}
 }
 
+// timing is one experiment's measured cost, in the spirit of go test
+// -bench output: one "op" is one full regeneration of the experiment
+// table.
+type timing struct {
+	Name     string `json:"name"`
+	NsPerOp  int64  `json:"ns_op"`
+	AllocsOp uint64 `json:"allocs_op"`
+}
+
 func run(args []string) error {
-	tables, err := experiments.All()
-	if err != nil {
+	fs := flag.NewFlagSet("ppbench", flag.ContinueOnError)
+	jsonPath := fs.String("json", "", "write per-experiment timings (name, ns_op, allocs_op) to this path")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
-	want := make(map[string]bool, len(args))
-	for _, a := range args {
+	want := make(map[string]bool, fs.NArg())
+	for _, a := range fs.Args() {
 		want[strings.ToUpper(a)] = true
 	}
+	var timings []timing
 	printed := 0
-	for _, t := range tables {
-		if len(want) > 0 && !want[strings.ToUpper(t.ID)] {
+	for _, e := range experiments.Index() {
+		if len(want) > 0 && !want[strings.ToUpper(e.ID)] {
 			continue
 		}
-		fmt.Println(t.Render())
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		tbl, err := e.Run()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.Render())
 		printed++
+		timings = append(timings, timing{
+			Name:     e.ID,
+			NsPerOp:  elapsed.Nanoseconds(),
+			AllocsOp: after.Mallocs - before.Mallocs,
+		})
 	}
 	if len(want) > 0 && printed == 0 {
-		return fmt.Errorf("no experiment matches %v", args)
+		return fmt.Errorf("no experiment matches %v", fs.Args())
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(timings, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing timings: %w", err)
+		}
 	}
 	return nil
 }

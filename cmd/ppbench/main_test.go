@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunAll(t *testing.T) {
 	if err := run(nil); err != nil {
@@ -17,5 +22,31 @@ func TestRunSelected(t *testing.T) {
 func TestRunUnknown(t *testing.T) {
 	if err := run([]string{"E99"}); err == nil {
 		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-json", path, "E2", "E6"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read timings: %v", err)
+	}
+	var timings []timing
+	if err := json.Unmarshal(data, &timings); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if len(timings) != 2 {
+		t.Fatalf("timings = %d entries, want 2", len(timings))
+	}
+	for _, tm := range timings {
+		if tm.Name != "E2" && tm.Name != "E6" {
+			t.Errorf("unexpected timing %+v", tm)
+		}
+		if tm.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive ns_op %d", tm.Name, tm.NsPerOp)
+		}
 	}
 }

@@ -1,14 +1,20 @@
-// Command ppsim simulates a built-in protocol under the uniform random
-// scheduler and reports convergence.
+// Command ppsim simulates a built-in protocol under a selectable
+// randomized scheduler and reports convergence.
 //
 // Usage:
 //
 //	ppsim -protocol example42 -param 4 -x 10 -trials 5 -seed 1
+//	ppsim -protocol flock -param 8 -x 40 -scheduler uniform
+//	ppsim -protocol majority -x 12 -y 8 -scheduler batched -batch 128
 //
 // For the majority protocol, -x sets the A count and -y the B count.
+// Schedulers: weighted (exact, default), uniform (classical random
+// pairs; conservative 2→2 protocols only), batched (k weighted steps
+// per convergence check).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,30 +24,49 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ppsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppsim", flag.ContinueOnError)
 	var (
-		protocol = flag.String("protocol", "example42", fmt.Sprintf("construction: %v", registry.Names()))
-		param    = flag.Int64("param", 2, "construction parameter (n or k)")
-		x        = flag.Int64("x", 3, "agents in the first input state")
-		y        = flag.Int64("y", 0, "agents in the second input state (majority only)")
-		seed     = flag.Int64("seed", 1, "PRNG seed")
-		steps    = flag.Int("steps", 1_000_000, "max interactions per run")
-		patience = flag.Int("patience", 5_000, "consensus patience (steps without output change)")
-		trials   = flag.Int("trials", 1, "number of runs")
+		protocol  = fs.String("protocol", "example42", fmt.Sprintf("construction: %v", registry.Names()))
+		param     = fs.Int64("param", 2, "construction parameter (n or k)")
+		x         = fs.Int64("x", 3, "agents in the first input state")
+		y         = fs.Int64("y", 0, "agents in the second input state (majority only)")
+		seed      = fs.Int64("seed", 1, "PRNG seed")
+		steps     = fs.Int("steps", 1_000_000, "max interactions per run")
+		patience  = fs.Int("patience", 5_000, "consensus patience (steps without output change)")
+		trials    = fs.Int("trials", 1, "number of runs")
+		scheduler = fs.String("scheduler", "weighted", "scheduler: weighted, uniform or batched")
+		batch     = fs.Int("batch", 0, fmt.Sprintf("batched scheduler batch size (0 = %d)", sim.DefaultBatch))
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
+	if *batch < 0 {
+		return fmt.Errorf("-batch must be non-negative (got %d)", *batch)
+	}
+	if *batch != 0 && *scheduler != "batched" {
+		return fmt.Errorf("-batch only applies to -scheduler batched (got %q)", *scheduler)
+	}
+	sched, err := sim.SchedulerByName(*scheduler, *batch)
+	if err != nil {
+		return err
+	}
 	p, n, err := registry.Make(*protocol, *param)
 	if err != nil {
 		return err
 	}
 	fmt.Println(p)
+	fmt.Printf("scheduler: %s\n", sched.Name())
 
 	counts := map[string]int64{}
 	initial := p.InitialStates()
@@ -60,9 +85,10 @@ func run() error {
 
 	for tr := 0; tr < *trials; tr++ {
 		res, err := sim.Run(p, input, sim.Options{
-			Seed:           *seed + int64(tr),
+			Seed:           sim.DeriveSeed(*seed, tr),
 			MaxSteps:       *steps,
 			StablePatience: *patience,
+			Scheduler:      sched,
 		})
 		if err != nil {
 			return err

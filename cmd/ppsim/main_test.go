@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSchedulers(t *testing.T) {
+	for _, sched := range []string{"weighted", "uniform", "batched"} {
+		args := []string{
+			"-protocol", "flock", "-param", "4", "-x", "8",
+			"-trials", "2", "-steps", "200000", "-scheduler", sched,
+		}
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunMajority(t *testing.T) {
+	args := []string{"-protocol", "majority", "-x", "7", "-y", "3", "-steps", "200000"}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "nope"},
+		{"-scheduler", "nope"},
+		// Example 4.1 has width-n transitions: the uniform scheduler
+		// must reject it.
+		{"-protocol", "example41", "-param", "3", "-scheduler", "uniform"},
+		// -batch without the batched scheduler would be silently ignored.
+		{"-scheduler", "uniform", "-batch", "128"},
+		// A negative batch size would be silently coerced to the default.
+		{"-scheduler", "batched", "-batch", "-5"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): error expected", args)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,20 +19,26 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ppverify:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppverify", flag.ContinueOnError)
 	var (
-		protocol   = flag.String("protocol", "example42", fmt.Sprintf("construction: %v", registry.Names()))
-		param      = flag.Int64("param", 2, "construction parameter (n or k)")
-		maxX       = flag.Int64("maxx", -1, "max input size (default n+3)")
-		maxConfigs = flag.Int("budget", 1<<20, "closure budget (configurations)")
+		protocol   = fs.String("protocol", "example42", fmt.Sprintf("construction: %v", registry.Names()))
+		param      = fs.Int64("param", 2, "construction parameter (n or k)")
+		maxX       = fs.Int64("maxx", -1, "max input size (default n+3)")
+		maxConfigs = fs.Int("budget", 1<<20, "closure budget (configurations)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	p, n, err := registry.Make(*protocol, *param)
 	if err != nil {

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunVerifiesExample42(t *testing.T) {
+	if err := run([]string{"-protocol", "example42", "-param", "2", "-maxx", "4"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunVerifiesFlock(t *testing.T) {
+	if err := run([]string{"-protocol", "flock", "-param", "3", "-maxx", "5"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "nope"},
+		// majority decides no counting predicate.
+		{"-protocol", "majority"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): error expected", args)
+		}
+	}
+}

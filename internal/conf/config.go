@@ -165,6 +165,59 @@ func (c Config) Support() []int {
 	return out
 }
 
+// AddAt adds d (which may be negative) to state i's count in place and
+// returns the new count. It is the single-state complement of the
+// in-place API for callers that own the receiver (e.g. built it with
+// Clone or New); the caller is responsible for keeping counts
+// non-negative. (The simulation engine's step path mutates the
+// RawCounts slice directly instead.)
+func (c Config) AddAt(i int, d int64) int64 {
+	c.v[i] += d
+	return c.v[i]
+}
+
+// RawCounts returns the configuration's backing count slice; mutating
+// it mutates the configuration. Like the other in-place methods it is
+// reserved for callers that own the receiver (simulation engines) and
+// must keep every count non-negative.
+func (c Config) RawCounts() []int64 { return c.v }
+
+// AddInPlace adds d to the receiver componentwise, mutating it. Both
+// configurations must be over the same space; the caller owns the
+// receiver.
+func (c Config) AddInPlace(d Config) {
+	c.mustSameSpace(d)
+	for i, n := range d.v {
+		c.v[i] += n
+	}
+}
+
+// SubInPlace subtracts d from the receiver componentwise when d ≤ c,
+// mutating it and reporting ok=true; otherwise it leaves the receiver
+// unchanged and reports ok=false. The caller owns the receiver.
+func (c Config) SubInPlace(d Config) bool {
+	c.mustSameSpace(d)
+	for i, n := range d.v {
+		if c.v[i] < n {
+			// Roll back the prefix already subtracted.
+			for j := 0; j < i; j++ {
+				c.v[j] += d.v[j]
+			}
+			return false
+		}
+		c.v[i] -= n
+	}
+	return true
+}
+
+// CopyFrom overwrites the receiver's counts with d's, mutating it. Both
+// configurations must be over the same space; the caller owns the
+// receiver.
+func (c Config) CopyFrom(d Config) {
+	c.mustSameSpace(d)
+	copy(c.v, d.v)
+}
+
 // Add returns c + d (componentwise). Both configurations must be over
 // the same space.
 func (c Config) Add(d Config) Config {

@@ -236,3 +236,94 @@ func TestQuickNorms(t *testing.T) {
 		t.Errorf("Scale law: %v", err)
 	}
 }
+
+func TestInPlaceAddSub(t *testing.T) {
+	a := MustFromMap(testSpace, map[string]int64{"i": 3, "p": 1})
+	d := MustFromMap(testSpace, map[string]int64{"i": 1, "q": 2})
+	a.AddInPlace(d)
+	if want := MustFromMap(testSpace, map[string]int64{"i": 4, "p": 1, "q": 2}); !a.Equal(want) {
+		t.Errorf("AddInPlace: got %v, want %v", a, want)
+	}
+	if !a.SubInPlace(d) {
+		t.Fatal("SubInPlace refused a valid subtraction")
+	}
+	if want := MustFromMap(testSpace, map[string]int64{"i": 3, "p": 1}); !a.Equal(want) {
+		t.Errorf("SubInPlace: got %v, want %v", a, want)
+	}
+}
+
+func TestSubInPlaceRollsBack(t *testing.T) {
+	// A failed in-place subtraction must leave the receiver untouched,
+	// including components before the one that went negative.
+	a := MustFromMap(testSpace, map[string]int64{"i": 5, "q": 1})
+	d := MustFromMap(testSpace, map[string]int64{"i": 2, "q": 3})
+	if a.SubInPlace(d) {
+		t.Fatal("SubInPlace accepted d ≰ a")
+	}
+	if want := MustFromMap(testSpace, map[string]int64{"i": 5, "q": 1}); !a.Equal(want) {
+		t.Errorf("failed SubInPlace mutated receiver: %v", a)
+	}
+}
+
+func TestAddAt(t *testing.T) {
+	a := MustFromMap(testSpace, map[string]int64{"i": 2})
+	if got := a.AddAt(0, 3); got != 5 {
+		t.Errorf("AddAt returned %d, want 5", got)
+	}
+	if got := a.AddAt(0, -5); got != 0 {
+		t.Errorf("AddAt returned %d, want 0", got)
+	}
+	if a.GetName("i") != 0 {
+		t.Errorf("AddAt did not mutate: %v", a)
+	}
+}
+
+func TestCopyFromAndRawCounts(t *testing.T) {
+	src := MustFromMap(testSpace, map[string]int64{"p": 7})
+	dst := MustFromMap(testSpace, map[string]int64{"i": 1, "q": 2})
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Errorf("CopyFrom: got %v, want %v", dst, src)
+	}
+	// CopyFrom must copy values, not alias the source.
+	dst.AddAt(1, 1)
+	if src.GetName("p") != 7 {
+		t.Error("CopyFrom aliased the source")
+	}
+	// RawCounts aliases the receiver's storage by design.
+	raw := dst.RawCounts()
+	raw[0] = 9
+	if dst.GetName("i") != 9 {
+		t.Error("RawCounts did not alias the receiver")
+	}
+}
+
+// Property: the in-place operations agree with their value-returning
+// counterparts.
+func TestQuickInPlaceAgree(t *testing.T) {
+	add := func(x, y [4]int16) bool {
+		a, d := randomConfig(x), randomConfig(y)
+		want := a.Add(d)
+		a.AddInPlace(d)
+		return a.Equal(want)
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Errorf("AddInPlace law: %v", err)
+	}
+	sub := func(x, y [4]int16) bool {
+		a, d := randomConfig(x), randomConfig(y)
+		want, wantOK := a.Sub(d)
+		before := a.Clone()
+		ok := a.SubInPlace(d)
+		if ok != wantOK {
+			return false
+		}
+		if !ok {
+			return a.Equal(before)
+		}
+		return a.Equal(want)
+	}
+	if err := quick.Check(sub, nil); err != nil {
+		t.Errorf("SubInPlace law: %v", err)
+	}
+}

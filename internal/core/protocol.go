@@ -188,6 +188,16 @@ func (p *Protocol) InitialStates() []string {
 // Gamma returns γ(p) for the state with the given index.
 func (p *Protocol) Gamma(i int) Output { return p.gamma[i] }
 
+// GammaTable returns a copy of γ as a dense slice indexed by state.
+// Simulation engines use it to track γ(ρ) incrementally: maintaining a
+// per-output-class count of occupied states makes the output set an
+// O(changed) quantity per step instead of the O(|P|) rescan of OutputOf.
+func (p *Protocol) GammaTable() []Output {
+	out := make([]Output, len(p.gamma))
+	copy(out, p.gamma)
+	return out
+}
+
 // GammaName returns γ(p) for the named state.
 func (p *Protocol) GammaName(name string) (Output, error) {
 	i, ok := p.Space().Index(name)

@@ -196,3 +196,21 @@ func TestKeepMask(t *testing.T) {
 		t.Error("unknown state accepted")
 	}
 }
+
+func TestGammaTable(t *testing.T) {
+	p := example42(t, 2)
+	tbl := p.GammaTable()
+	if len(tbl) != p.States() {
+		t.Fatalf("GammaTable length %d, want %d", len(tbl), p.States())
+	}
+	for i, o := range tbl {
+		if o != p.Gamma(i) {
+			t.Errorf("GammaTable[%d] = %v, Gamma = %v", i, o, p.Gamma(i))
+		}
+	}
+	// The table is a copy: mutating it must not corrupt the protocol.
+	tbl[0] = Out0
+	if p.Gamma(0) != Out1 {
+		t.Error("GammaTable aliases the protocol's gamma")
+	}
+}

@@ -648,15 +648,37 @@ func MachineTable() (*Table, error) {
 	return t, nil
 }
 
+// NamedExperiment pairs an experiment id with its generator, so
+// callers can select and time experiments without running the rest.
+type NamedExperiment struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// Index returns the experiments in canonical order. The IDs match the
+// tables the generators produce and the DESIGN.md experiment index.
+func Index() []NamedExperiment {
+	return []NamedExperiment{
+		{"E1", E1StateCounts},
+		{"E1b", MachineTable},
+		{"E2", E2Theorem43},
+		{"E3", E3Gap},
+		{"E4", E4VerifyCost},
+		{"E5", E5Rackoff},
+		{"E6", E6Pottier},
+		{"E7", E7Euler},
+		{"E8", E8Bottom},
+		{"E9", E9Stabilized},
+		{"E10", E10Convergence},
+	}
+}
+
 // All runs every experiment in order.
 func All() ([]*Table, error) {
-	fns := []func() (*Table, error){
-		E1StateCounts, MachineTable, E2Theorem43, E3Gap, E4VerifyCost,
-		E5Rackoff, E6Pottier, E7Euler, E8Bottom, E9Stabilized, E10Convergence,
-	}
-	out := make([]*Table, 0, len(fns))
-	for _, fn := range fns {
-		tbl, err := fn()
+	idx := Index()
+	out := make([]*Table, 0, len(idx))
+	for _, e := range idx {
+		tbl, err := e.Run()
 		if err != nil {
 			return nil, err
 		}

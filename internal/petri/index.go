@@ -1,0 +1,81 @@
+package petri
+
+// SparseEntry is one (state, count) component of a sparse configuration
+// view.
+type SparseEntry struct {
+	// State is the state's index in the net's space.
+	State int
+	// N is the count carried on that state (a displacement entry may be
+	// negative).
+	N int64
+}
+
+// Index is the precomputed dependency structure of a net used by
+// incremental simulation engines: sparse views of every transition's
+// precondition and displacement, plus the inverse map from states to
+// the transitions whose enabledness/weight can change when that state's
+// count changes. Nets are immutable, so the index is computed once and
+// shared.
+type Index struct {
+	pre        [][]SparseEntry // per transition: support of Pre
+	delta      [][]SparseEntry // per transition: nonzero Post−Pre entries
+	dependents [][]int         // per state: transitions with Pre on it
+	affected   [][]int         // per transition: deduped dependents of its delta support
+}
+
+// buildIndex computes the index for a net.
+func buildIndex(n *Net) *Index {
+	d := n.space.Len()
+	idx := &Index{
+		pre:        make([][]SparseEntry, len(n.trans)),
+		delta:      make([][]SparseEntry, len(n.trans)),
+		dependents: make([][]int, d),
+	}
+	for ti, t := range n.trans {
+		for i := 0; i < d; i++ {
+			if need := t.Pre.Get(i); need > 0 {
+				idx.pre[ti] = append(idx.pre[ti], SparseEntry{State: i, N: need})
+				idx.dependents[i] = append(idx.dependents[i], ti)
+			}
+			if dv := t.Post.Get(i) - t.Pre.Get(i); dv != 0 {
+				idx.delta[ti] = append(idx.delta[ti], SparseEntry{State: i, N: dv})
+			}
+		}
+	}
+	idx.affected = make([][]int, len(n.trans))
+	mark := make([]bool, len(n.trans))
+	for ti := range n.trans {
+		for _, e := range idx.delta[ti] {
+			for _, dt := range idx.dependents[e.State] {
+				if !mark[dt] {
+					mark[dt] = true
+					idx.affected[ti] = append(idx.affected[ti], dt)
+				}
+			}
+		}
+		for _, dt := range idx.affected[ti] {
+			mark[dt] = false
+		}
+	}
+	return idx
+}
+
+// Pre returns the sparse support of transition ti's precondition. The
+// returned slice is shared and must not be mutated.
+func (x *Index) Pre(ti int) []SparseEntry { return x.pre[ti] }
+
+// Delta returns the sparse nonzero displacement of transition ti. The
+// returned slice is shared and must not be mutated.
+func (x *Index) Delta(ti int) []SparseEntry { return x.delta[ti] }
+
+// Dependents returns the transitions whose precondition involves the
+// given state: exactly those whose instance weight can change when the
+// state's count changes. The returned slice is shared and must not be
+// mutated.
+func (x *Index) Dependents(state int) []int { return x.dependents[state] }
+
+// Affected returns the transitions whose instance weight can change
+// when transition ti fires: the deduplicated dependents of ti's delta
+// support, precomputed so the simulation hot path needs no per-fire
+// set-building. The returned slice is shared and must not be mutated.
+func (x *Index) Affected(ti int) []int { return x.affected[ti] }

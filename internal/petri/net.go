@@ -3,6 +3,7 @@ package petri
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/conf"
 )
@@ -12,6 +13,9 @@ import (
 type Net struct {
 	space *conf.Space
 	trans []Transition
+
+	idxOnce sync.Once
+	idx     *Index
 }
 
 // New builds a net, validating that every transition is over the given
@@ -39,6 +43,13 @@ func New(space *conf.Space, trans []Transition) (*Net, error) {
 
 // Space returns the net's state space.
 func (n *Net) Space() *conf.Space { return n.space }
+
+// Index returns the net's precomputed dependency index, building it on
+// first use. It is safe for concurrent callers.
+func (n *Net) Index() *Index {
+	n.idxOnce.Do(func() { n.idx = buildIndex(n) })
+	return n.idx
+}
 
 // Len returns the number of transitions |T|.
 func (n *Net) Len() int { return len(n.trans) }

@@ -15,10 +15,13 @@ type SweepPoint struct {
 	Stats Stats
 }
 
-// Sweep runs RunMany for each population size in xs concurrently (one
-// bounded worker pool, joined before return) and reports per-size
-// statistics. The expected predicate value for each x is computed by
-// expected. Results are ordered like xs regardless of scheduling.
+// Sweep runs RunMany for each population size in xs and reports
+// per-size statistics. The expected predicate value for each x is
+// computed by expected. Parallelism is two-level: points fan out to a
+// bounded pool (so sweeps with few trials per point still use every
+// core) and each point's RunMany fans its trials out to workers that
+// reuse one engine State each. Results are ordered like xs and
+// deterministic in opts.Seed regardless of scheduling.
 func Sweep(p *core.Protocol, inputState string, xs []int64, expected func(x int64) bool, trials int, opts Options) ([]SweepPoint, error) {
 	if len(xs) == 0 {
 		return nil, errors.New("sim: empty sweep")
@@ -29,8 +32,18 @@ func Sweep(p *core.Protocol, inputState string, xs []int64, expected func(x int6
 	if workers > len(xs) {
 		workers = len(xs)
 	}
-	var wg sync.WaitGroup
+	// Keep the two-level pool product at ~GOMAXPROCS: each point-worker
+	// gets an equal share of trial-workers unless the caller pinned
+	// Options.Workers explicitly.
+	inner := opts
+	if inner.Workers <= 0 {
+		inner.Workers = runtime.GOMAXPROCS(0) / workers
+		if inner.Workers < 1 {
+			inner.Workers = 1
+		}
+	}
 	jobs := make(chan int)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -42,7 +55,7 @@ func Sweep(p *core.Protocol, inputState string, xs []int64, expected func(x int6
 					errs[idx] = err
 					continue
 				}
-				o := opts
+				o := inner
 				o.Seed = opts.Seed + x*7_919 // decorrelate sizes deterministically
 				stats, err := RunMany(p, input, expected(x), trials, o)
 				if err != nil {

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/counting"
+	"repro/internal/spec"
+)
+
+// The engine invariant everything rests on: after any sequence of
+// fires, every incrementally maintained quantity matches its from-
+// scratch reference computation.
+func TestEngineMatchesReference(t *testing.T) {
+	protos := []func() (*core.Protocol, error){
+		func() (*core.Protocol, error) { return counting.Example42(3) },
+		func() (*core.Protocol, error) { return counting.FlockOfBirds(6) },
+		func() (*core.Protocol, error) { return counting.PowerOfTwo(3) },
+		func() (*core.Protocol, error) { return spec.Majority("A", "B") },
+	}
+	for _, mk := range protos {
+		p, err := mk()
+		if err != nil {
+			t.Fatalf("protocol: %v", err)
+		}
+		st := NewState(p)
+		counts := map[string]int64{}
+		for i, s := range p.InitialStates() {
+			counts[s] = int64(7 + 3*i)
+		}
+		input, err := p.Input(counts)
+		if err != nil {
+			t.Fatalf("input: %v", err)
+		}
+		if err := st.Reset(input); err != nil {
+			t.Fatalf("Reset: %v", err)
+		}
+		rng := NewRNG(99)
+		net := p.Net()
+		for step := 0; step < 300; step++ {
+			snap := st.Snapshot()
+			for ti := 0; ti < net.Len(); ti++ {
+				want := instanceWeight(net.At(ti).Pre, snap)
+				if got := st.Weight(ti); got != want {
+					t.Fatalf("%s step %d: weight(%d) = %v, want %v", p.Name(), step, ti, got, want)
+				}
+			}
+			if got, want := st.Output(), p.OutputOf(snap); got != want {
+				t.Fatalf("%s step %d: Output = %v, want %v", p.Name(), step, got, want)
+			}
+			if got, want := st.Agents(), snap.Agents(); got != want {
+				t.Fatalf("%s step %d: Agents = %d, want %d", p.Name(), step, got, want)
+			}
+			ti, ok := st.Sample(rng)
+			if !ok {
+				break
+			}
+			if !st.Fire(ti) {
+				t.Fatalf("%s step %d: sampled transition %d disabled", p.Name(), step, ti)
+			}
+		}
+	}
+}
+
+func TestEngineFireDisabled(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	st := NewState(p)
+	input, err := p.Input(map[string]int64{"i": 1})
+	if err != nil {
+		t.Fatalf("input: %v", err)
+	}
+	if err := st.Reset(input); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	// A single agent enables nothing; firing must refuse and leave the
+	// configuration untouched.
+	before := st.Snapshot()
+	for ti := 0; ti < p.Net().Len(); ti++ {
+		if st.Fire(ti) {
+			t.Fatalf("disabled transition %d fired", ti)
+		}
+	}
+	if !st.Snapshot().Equal(before) {
+		t.Error("refused fire mutated the configuration")
+	}
+	if _, ok := st.Sample(NewRNG(1)); ok {
+		t.Error("Sample found an enabled transition in a deadlocked configuration")
+	}
+}
+
+func TestEngineResetReuse(t *testing.T) {
+	p, err := counting.Example42(2)
+	if err != nil {
+		t.Fatalf("Example42: %v", err)
+	}
+	input, err := p.Input(map[string]int64{"i": 4})
+	if err != nil {
+		t.Fatalf("input: %v", err)
+	}
+	st := NewState(p)
+	run := func() conf.Config {
+		if err := st.Reset(input); err != nil {
+			t.Fatalf("Reset: %v", err)
+		}
+		rng := NewRNG(5)
+		for i := 0; i < 200; i++ {
+			ti, ok := st.Sample(rng)
+			if !ok {
+				break
+			}
+			st.Fire(ti)
+		}
+		return st.Snapshot()
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Errorf("reused state diverged: %v vs %v", a, b)
+	}
+}
+
+func TestEngineRejectsWrongSpace(t *testing.T) {
+	p, err := counting.Example42(2)
+	if err != nil {
+		t.Fatalf("Example42: %v", err)
+	}
+	if err := NewState(p).Reset(conf.New(conf.MustSpace("zz"))); err == nil {
+		t.Error("wrong-space input accepted")
+	}
+}
+
+func TestEngineTotalWeight(t *testing.T) {
+	p, err := counting.Example42(2)
+	if err != nil {
+		t.Fatalf("Example42: %v", err)
+	}
+	input, err := p.Input(map[string]int64{"i": 3})
+	if err != nil {
+		t.Fatalf("input: %v", err)
+	}
+	st := NewState(p)
+	if err := st.Reset(input); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	var want float64
+	snap := st.Snapshot()
+	for ti := 0; ti < p.Net().Len(); ti++ {
+		want += instanceWeight(p.Net().At(ti).Pre, snap)
+	}
+	if got := st.TotalWeight(); got != want {
+		t.Errorf("TotalWeight = %v, want %v", got, want)
+	}
+}

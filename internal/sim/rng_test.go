@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	a.Seed(42)
+	b = NewRNG(42)
+	if a.Uint64() != b.Uint64() {
+		t.Error("Seed did not reset the stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGInt63nBounds(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []int64{1, 2, 7, 1 << 40} {
+		for i := 0; i < 5_000; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGInt63nRoughlyUniform(t *testing.T) {
+	r := NewRNG(11)
+	const buckets, draws = 8, 80_000
+	var hist [buckets]int
+	for i := 0; i < draws; i++ {
+		hist[r.Int63n(buckets)]++
+	}
+	want := draws / buckets
+	for b, n := range hist {
+		if n < want*9/10 || n > want*11/10 {
+			t.Errorf("bucket %d: %d draws, want ≈%d", b, n, want)
+		}
+	}
+}
+
+func TestDeriveSeedNoCollisions(t *testing.T) {
+	// The old affine derivation (base + tr·1e6+3) made distinct
+	// (base, trial) pairs collide trivially; the splitmix64 hash must
+	// keep a dense grid collision-free.
+	seen := make(map[int64][2]int64)
+	for base := int64(0); base < 100; base++ {
+		for tr := 0; tr < 100; tr++ {
+			s := DeriveSeed(base, tr)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("DeriveSeed(%d,%d) == DeriveSeed(%d,%d) == %d",
+					base, tr, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{base, int64(tr)}
+		}
+	}
+	// Regression for the specific old failure mode: base+K and trial
+	// offsets must no longer alias.
+	if DeriveSeed(0, 1) == DeriveSeed(1_000_003, 0) {
+		t.Error("affine aliasing survived the hash")
+	}
+}

@@ -1,17 +1,20 @@
-// Package sim executes protocols under a randomized scheduler: the
-// natural generalization of the classical uniform-random-pair scheduler
-// to arbitrary-width (and non-conservative) transitions, where each
+// Package sim executes protocols under pluggable randomized schedulers.
+// The default is the exact weighted scheduler: the natural
+// generalization of the classical uniform-random-pair scheduler to
+// arbitrary-width (and non-conservative) transitions, where each
 // enabled transition is selected with probability proportional to the
 // number of ways of choosing its precondition multiset from the current
-// configuration.
+// configuration. See Scheduler for the alternatives.
 //
+// Runs execute on an incremental engine (State) that fires transitions
+// in place and reweighs only the transitions affected by each step.
 // All randomness is seed-driven; runs are reproducible.
 package sim
 
 import (
 	"errors"
-	"fmt"
-	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/conf"
 	"repro/internal/core"
@@ -31,9 +34,21 @@ type Options struct {
 	// run executes MaxSteps and reports the last step at which the
 	// consensus output changed.
 	StablePatience int
+	// Scheduler selects the interaction scheduler; nil means Weighted{}.
+	Scheduler Scheduler
+	// Workers bounds RunMany's trial-level worker pool; 0 means
+	// GOMAXPROCS. Results are deterministic regardless of the value.
+	Workers int
 }
 
 const defaultMaxSteps = 1 << 20
+
+func (o Options) scheduler() Scheduler {
+	if o.Scheduler == nil {
+		return Weighted{}
+	}
+	return o.Scheduler
+}
 
 // Result reports a run's outcome.
 type Result struct {
@@ -41,7 +56,8 @@ type Result struct {
 	Steps int
 	// LastChange is the last step index at which the configuration's
 	// output set changed; after it the output stayed constant to the
-	// end of the run.
+	// end of the run. Under a batched scheduler it is reported at batch
+	// granularity.
 	LastChange int
 	// Converged reports that the run ended in (or patience-detected) a
 	// lasting output consensus.
@@ -68,63 +84,52 @@ func (r *Result) ConsensusBool() (value, ok bool) {
 	}
 }
 
-// Run executes the protocol from ρ_L + input under the weighted random
-// scheduler.
+// Run executes the protocol from ρ_L + input under the scheduler
+// selected by opts.
 func Run(p *core.Protocol, input conf.Config, opts Options) (*Result, error) {
-	if !input.Space().Equal(p.Space()) {
-		return nil, errors.New("sim: input over wrong space")
+	st := NewState(p)
+	stepper, err := opts.scheduler().Attach(st)
+	if err != nil {
+		return nil, err
 	}
+	if err := st.Reset(input); err != nil {
+		return nil, err
+	}
+	return runLoop(st, stepper, NewRNG(opts.Seed), opts), nil
+}
+
+// runLoop drives one run on an already-reset state. It is the shared
+// core of Run and RunMany's workers.
+func runLoop(st *State, stepper Stepper, rng *RNG, opts Options) *Result {
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = defaultMaxSteps
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	cur := p.InitialConfig(input)
-	net := p.Net()
-
-	res := &Result{Output: p.OutputOf(cur)}
+	res := &Result{Output: st.Output()}
 	sinceChange := 0
-	for step := 1; step <= maxSteps; step++ {
-		// Weighted choice among enabled transitions.
-		var totalW float64
-		weights := make([]float64, net.Len())
-		for ti := 0; ti < net.Len(); ti++ {
-			w := instanceWeight(net.At(ti).Pre, cur)
-			weights[ti] = w
-			totalW += w
-		}
-		if totalW == 0 {
+	steps := 0
+	for steps < maxSteps {
+		n, ok := stepper.Step(rng, maxSteps-steps)
+		if !ok {
 			res.Deadlocked = true
 			break
 		}
-		pick := rng.Float64() * totalW
-		ti := 0
-		for ; ti < len(weights)-1; ti++ {
-			pick -= weights[ti]
-			if pick < 0 {
-				break
-			}
-		}
-		next, ok := net.At(ti).Fire(cur)
-		if !ok {
-			return nil, fmt.Errorf("sim: internal: weighted pick chose disabled transition %d", ti)
-		}
-		cur = next
-		res.Steps = step
-		out := p.OutputOf(cur)
+		steps += n
+		res.Steps = steps
+		out := st.Output()
 		if out != res.Output {
 			res.Output = out
-			res.LastChange = step
+			res.LastChange = steps
 			sinceChange = 0
 		} else {
-			sinceChange++
+			sinceChange += n
 			if opts.StablePatience > 0 && sinceChange >= opts.StablePatience && consensus(out) {
 				res.Converged = true
 				break
 			}
 		}
 	}
-	res.Final = cur
+	res.Final = st.Snapshot()
 	if res.Deadlocked && consensus(res.Output) {
 		res.Converged = true
 	}
@@ -133,7 +138,7 @@ func Run(p *core.Protocol, input conf.Config, opts Options) (*Result, error) {
 		// consensus.
 		res.Converged = true
 	}
-	return res, nil
+	return res
 }
 
 func consensus(s core.OutputSet) bool {
@@ -142,7 +147,9 @@ func consensus(s core.OutputSet) bool {
 
 // instanceWeight counts the number of distinct ways to draw the
 // multiset pre from cur: Π_p C(cur(p), pre(p)). A float64 is ample for
-// the populations the simulator targets.
+// the populations the simulator targets. The engine maintains the same
+// quantity incrementally; this standalone form remains the reference
+// implementation the engine is tested against.
 func instanceWeight(pre, cur conf.Config) float64 {
 	w := 1.0
 	for i := 0; i < cur.Space().Len(); i++ {
@@ -182,22 +189,78 @@ type Stats struct {
 	MeanLastChange float64
 }
 
+// DeriveSeed hashes (base seed, trial index) through the splitmix64
+// finalizer so per-trial streams are uncorrelated even across nearby
+// base seeds and trial indices (an affine derivation like base+trial
+// makes overlapping streams trivial to hit). RunMany uses it
+// internally; CLI tools deriving their own per-run seeds should too.
+func DeriveSeed(base int64, trial int) int64 {
+	return int64(mix64(uint64(base) + splitmixGamma*uint64(trial+1)))
+}
+
 // RunMany executes trials runs with derived seeds and aggregates
 // statistics, comparing each consensus with the expected predicate
-// value.
+// value. Trials run concurrently on a bounded worker pool; each worker
+// reuses one engine State across its trials, and results are
+// aggregated in trial order, so the statistics are deterministic in
+// (Seed, trials) regardless of scheduling.
 func RunMany(p *core.Protocol, input conf.Config, expected bool, trials int, opts Options) (*Stats, error) {
 	if trials <= 0 {
 		return nil, errors.New("sim: trials must be positive")
 	}
+	if !input.Space().Equal(p.Space()) {
+		return nil, errors.New("sim: input over wrong space")
+	}
+	sched := opts.scheduler()
+	// Attach the first worker's engine up front: it both validates the
+	// scheduler/protocol pairing (so every caller gets the same
+	// deterministic error) and is reused as worker 0's state.
+	st0 := NewState(p)
+	stepper0, err := sched.Attach(st0)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	initial := p.InitialConfig(input)
+	results := make([]*Result, trials)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		st, stepper := st0, stepper0
+		if w > 0 {
+			st = NewState(p)
+			var err error
+			if stepper, err = sched.Attach(st); err != nil {
+				// Unreachable: Attach succeeded above on an identical state.
+				panic(err)
+			}
+		}
+		wg.Add(1)
+		go func(st *State, stepper Stepper) {
+			defer wg.Done()
+			rng := NewRNG(0)
+			for tr := range jobs {
+				st.resetFrom(initial)
+				rng.Seed(DeriveSeed(opts.Seed, tr))
+				results[tr] = runLoop(st, stepper, rng, opts)
+			}
+		}(st, stepper)
+	}
+	for tr := 0; tr < trials; tr++ {
+		jobs <- tr
+	}
+	close(jobs)
+	wg.Wait()
+
 	stats := &Stats{Trials: trials}
 	var sumSteps, sumChange float64
-	for tr := 0; tr < trials; tr++ {
-		o := opts
-		o.Seed = opts.Seed + int64(tr)*1_000_003
-		res, err := Run(p, input, o)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		sumSteps += float64(res.Steps)
 		if res.Steps > stats.MaxSteps {
 			stats.MaxSteps = res.Steps

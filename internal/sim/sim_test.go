@@ -172,3 +172,28 @@ func TestBinom(t *testing.T) {
 		}
 	}
 }
+
+func TestRunManyDeterministicAcrossWorkers(t *testing.T) {
+	// The trial pool must not leak scheduling order into the statistics:
+	// any worker count yields identical aggregates for the same seed.
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	in := input(t, p, 9)
+	run := func(workers int) Stats {
+		stats, err := RunMany(p, in, true, 12, Options{
+			Seed: 77, MaxSteps: 200_000, StablePatience: 1_000, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("RunMany(workers=%d): %v", workers, err)
+		}
+		return *stats
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 0} {
+		if got := run(w); got != base {
+			t.Errorf("workers=%d: stats %+v differ from serial %+v", w, got, base)
+		}
+	}
+}
