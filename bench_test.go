@@ -79,6 +79,10 @@ func BenchmarkE9Stabilized(b *testing.B) { runTable(b, experiments.E9Stabilized)
 // constructions.
 func BenchmarkE10Convergence(b *testing.B) { runTable(b, experiments.E10Convergence) }
 
+// BenchmarkE11LargeNBatch measures the count-batched large-population
+// runs (10⁸–10⁹ agents per case).
+func BenchmarkE11LargeNBatch(b *testing.B) { runTable(b, experiments.E11LargeNBatch) }
+
 // --- micro-benchmarks for the hot substrate paths ---
 
 // BenchmarkReachClosure measures raw closure construction on
@@ -200,7 +204,7 @@ func BenchmarkSweepSchedulers(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, sched := range []sim.Scheduler{sim.Weighted{}, sim.UniformPairs{}, sim.Batched{}} {
+	for _, sched := range []sim.Scheduler{sim.Weighted{}, sim.UniformPairs{}, sim.Batched{}, sim.CountBatched{}} {
 		b.Run(sched.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -218,12 +222,12 @@ func BenchmarkSweepSchedulers(b *testing.B) {
 	}
 }
 
-// BenchmarkStepThroughput measures the raw per-interaction cost of the
-// incremental engine: one long weighted run on a flip-flop net that
-// can never deadlock (2a ⇄ 2b from an even population keeps both
-// transitions recurrently enabled), b.N interactions per op, so ns/op
-// IS ns/step.
-func BenchmarkStepThroughput(b *testing.B) {
+// flipFlopInput builds the deadlock-free throughput workload: the
+// flip-flop net 2a ⇄ 2b keeps both transitions recurrently enabled
+// from any even population, so a run executes exactly MaxSteps
+// interactions.
+func flipFlopInput(b *testing.B, agents int64) (*core.Protocol, conf.Config) {
+	b.Helper()
 	space := conf.MustSpace("a", "b")
 	u := func(n string) conf.Config { return conf.MustUnit(space, n) }
 	mk := func(name string, pre, post conf.Config) petri.Transition {
@@ -245,10 +249,18 @@ func BenchmarkStepThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	input, err := p.Input(map[string]int64{"a": 64})
+	input, err := p.Input(map[string]int64{"a": agents})
 	if err != nil {
 		b.Fatal(err)
 	}
+	return p, input
+}
+
+// BenchmarkStepThroughput measures the raw per-interaction cost of the
+// incremental engine: one long weighted run on the flip-flop net,
+// b.N interactions per op, so ns/op IS ns/step.
+func BenchmarkStepThroughput(b *testing.B) {
+	p, input := flipFlopInput(b, 64)
 	b.ReportAllocs()
 	b.ResetTimer()
 	res, err := sim.Run(p, input, sim.Options{Seed: 9, MaxSteps: b.N})
@@ -257,6 +269,29 @@ func BenchmarkStepThroughput(b *testing.B) {
 	}
 	if res.Steps != b.N {
 		b.Fatalf("executed %d steps, want %d", res.Steps, b.N)
+	}
+}
+
+// BenchmarkStepThroughputLargeN compares amortized ns/interaction at
+// n = 10⁶ agents: Weighted pays the full per-interaction sampling path
+// while CountBatched amortizes one O(|T|) aggregate over up to
+// millions of interactions — the headline speedup of the count-based
+// batch regime (the acceptance bar is ≥ 10×; measured is orders of
+// magnitude beyond it).
+func BenchmarkStepThroughputLargeN(b *testing.B) {
+	for _, sched := range []sim.Scheduler{sim.Weighted{}, sim.CountBatched{}} {
+		b.Run(sched.Name(), func(b *testing.B) {
+			p, input := flipFlopInput(b, 1_000_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := sim.Run(p, input, sim.Options{Seed: 9, MaxSteps: b.N, Scheduler: sched})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Steps != b.N {
+				b.Fatalf("executed %d steps, want %d", res.Steps, b.N)
+			}
+		})
 	}
 }
 

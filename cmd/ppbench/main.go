@@ -1,4 +1,4 @@
-// Command ppbench runs the reproduction experiments E1–E10 (see
+// Command ppbench runs the reproduction experiments E1–E11 (see
 // DESIGN.md) and prints each as a paper-shaped table with the claim it
 // reproduces and the measured verdict.
 //
@@ -9,8 +9,10 @@
 //	ppbench -json bench.json     # also record per-experiment timings
 //
 // With -json, per-experiment timing results (name, wall time in ns,
-// heap allocation count) are written to the given path so successive
-// PRs can track the perf trajectory in BENCH_*.json files.
+// heap allocation count) are written to the given path together with
+// host metadata (hostname, OS/arch, CPU count, GOMAXPROCS, Go version,
+// VCS commit), so BENCH_*.json artifacts collected from different
+// machines — per-PR CI uploads, sharded sweep hosts — stay comparable.
 package main
 
 import (
@@ -19,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -40,6 +44,69 @@ type timing struct {
 	Name     string `json:"name"`
 	NsPerOp  int64  `json:"ns_op"`
 	AllocsOp uint64 `json:"allocs_op"`
+}
+
+// artifact is the -json document: the timings plus the host/commit
+// metadata that makes artifacts from different machines comparable.
+type artifact struct {
+	Schema     int      `json:"schema"` // artifact format version
+	Hostname   string   `json:"hostname,omitempty"`
+	OS         string   `json:"os"`
+	Arch       string   `json:"arch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	GoVersion  string   `json:"go_version"`
+	Commit     string   `json:"commit,omitempty"`
+	Timings    []timing `json:"timings"`
+}
+
+// hostArtifact fills in everything but the timings.
+func hostArtifact() artifact {
+	a := artifact{
+		Schema:     1,
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	if h, err := os.Hostname(); err == nil {
+		a.Hostname = h
+	}
+	a.Commit = commit()
+	return a
+}
+
+// commit best-efforts the VCS revision: the build info stamp when the
+// binary was built with VCS stamping, otherwise a direct git query
+// (the `go run` path); empty when neither is available.
+func commit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	rev := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		rev += "-dirty"
+	}
+	return rev
 }
 
 func run(args []string) error {
@@ -82,7 +149,9 @@ func run(args []string) error {
 		return fmt.Errorf("no experiment matches %v", fs.Args())
 	}
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(timings, "", "  ")
+		art := hostArtifact()
+		art.Timings = timings
+		data, err := json.MarshalIndent(art, "", "  ")
 		if err != nil {
 			return err
 		}

@@ -34,19 +34,24 @@ func TestRunJSON(t *testing.T) {
 	if err != nil {
 		t.Fatalf("read timings: %v", err)
 	}
-	var timings []timing
-	if err := json.Unmarshal(data, &timings); err != nil {
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
 		t.Fatalf("unmarshal: %v\n%s", err, data)
 	}
-	if len(timings) != 2 {
-		t.Fatalf("timings = %d entries, want 2", len(timings))
+	if len(art.Timings) != 2 {
+		t.Fatalf("timings = %d entries, want 2", len(art.Timings))
 	}
-	for _, tm := range timings {
+	for _, tm := range art.Timings {
 		if tm.Name != "E2" && tm.Name != "E6" {
 			t.Errorf("unexpected timing %+v", tm)
 		}
 		if tm.NsPerOp <= 0 {
 			t.Errorf("%s: non-positive ns_op %d", tm.Name, tm.NsPerOp)
 		}
+	}
+	// The cross-machine comparability metadata must be present.
+	if art.Schema != 1 || art.OS == "" || art.Arch == "" || art.NumCPU <= 0 ||
+		art.GOMAXPROCS <= 0 || art.GoVersion == "" {
+		t.Errorf("incomplete host metadata: %+v", art)
 	}
 }

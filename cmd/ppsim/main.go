@@ -6,11 +6,17 @@
 //	ppsim -protocol example42 -param 4 -x 10 -trials 5 -seed 1
 //	ppsim -protocol flock -param 8 -x 40 -scheduler uniform
 //	ppsim -protocol majority -x 12 -y 8 -scheduler batched -batch 128
+//	ppsim -protocol power2 -param 30 -x 1073741824 -scheduler countbatch -steps 100000000000 -patience 0
 //
 // For the majority protocol, -x sets the A count and -y the B count.
 // Schedulers: weighted (exact, default), uniform (classical random
 // pairs; conservative 2→2 protocols only), batched (k weighted steps
-// per convergence check).
+// per convergence check), countbatch (count-based tau-leaping batches;
+// reaches populations of 10⁹ agents in seconds). Large-n runs should
+// use -patience 0 (run to the absorbing deadlock): a fixed patience is
+// satisfied by a single large batch — and, under any scheduler, by the
+// long unchanged-output prefix of a big population — long before the
+// run is actually stable.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/registry"
 	"repro/internal/sim"
@@ -41,8 +48,9 @@ func run(args []string) error {
 		steps     = fs.Int("steps", 1_000_000, "max interactions per run")
 		patience  = fs.Int("patience", 5_000, "consensus patience (steps without output change)")
 		trials    = fs.Int("trials", 1, "number of runs")
-		scheduler = fs.String("scheduler", "weighted", "scheduler: weighted, uniform or batched")
-		batch     = fs.Int("batch", 0, fmt.Sprintf("batched scheduler batch size (0 = %d)", sim.DefaultBatch))
+		scheduler = fs.String("scheduler", "weighted", "scheduler: weighted, uniform, batched or countbatch")
+		batch     = fs.Int("batch", 0, fmt.Sprintf("batched batch size / countbatch aggregation threshold (0 = %d / %d)", sim.DefaultBatch, sim.DefaultMinBatch))
+		eps       = fs.Float64("eps", 0, fmt.Sprintf("countbatch drift tolerance in (0,1) (0 = %g)", sim.DefaultEpsilon))
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -54,10 +62,13 @@ func run(args []string) error {
 	if *batch < 0 {
 		return fmt.Errorf("-batch must be non-negative (got %d)", *batch)
 	}
-	if *batch != 0 && *scheduler != "batched" {
-		return fmt.Errorf("-batch only applies to -scheduler batched (got %q)", *scheduler)
+	if *batch != 0 && *scheduler != "batched" && *scheduler != "countbatch" {
+		return fmt.Errorf("-batch only applies to -scheduler batched or countbatch (got %q)", *scheduler)
 	}
-	sched, err := sim.SchedulerByName(*scheduler, *batch)
+	if *eps != 0 && *scheduler != "countbatch" {
+		return fmt.Errorf("-eps only applies to -scheduler countbatch (got %q)", *scheduler)
+	}
+	sched, err := sim.SchedulerByName(*scheduler, *batch, *eps)
 	if err != nil {
 		return err
 	}
@@ -84,6 +95,7 @@ func run(args []string) error {
 	}
 
 	for tr := 0; tr < *trials; tr++ {
+		start := time.Now()
 		res, err := sim.Run(p, input, sim.Options{
 			Seed:           sim.DeriveSeed(*seed, tr),
 			MaxSteps:       *steps,
@@ -93,12 +105,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		elapsed := time.Since(start)
 		verdict := "no consensus"
 		if v, ok := res.ConsensusBool(); ok {
 			verdict = fmt.Sprintf("consensus %v", v)
 		}
-		fmt.Printf("run %d: steps=%d lastChange=%d converged=%v deadlocked=%v output=%v (%s)\n  final: %v\n",
-			tr, res.Steps, res.LastChange, res.Converged, res.Deadlocked, res.Output, verdict, res.Final)
+		fmt.Printf("run %d: steps=%d lastChange=%d converged=%v deadlocked=%v output=%v (%s) in %v\n  final: %v\n",
+			tr, res.Steps, res.LastChange, res.Converged, res.Deadlocked, res.Output, verdict, elapsed.Round(time.Microsecond), res.Final)
 	}
 	return nil
 }

@@ -9,7 +9,7 @@ func TestRunDefaults(t *testing.T) {
 }
 
 func TestRunSchedulers(t *testing.T) {
-	for _, sched := range []string{"weighted", "uniform", "batched"} {
+	for _, sched := range []string{"weighted", "uniform", "batched", "countbatch"} {
 		args := []string{
 			"-protocol", "flock", "-param", "4", "-x", "8",
 			"-trials", "2", "-steps", "200000", "-scheduler", sched,
@@ -17,6 +17,16 @@ func TestRunSchedulers(t *testing.T) {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
+	}
+}
+
+func TestRunCountBatchOptions(t *testing.T) {
+	args := []string{
+		"-protocol", "power2", "-param", "10", "-x", "1024", "-patience", "0",
+		"-steps", "10000000", "-scheduler", "countbatch", "-batch", "32", "-eps", "0.02",
+	}
+	if err := run(args); err != nil {
+		t.Errorf("run(%v): %v", args, err)
 	}
 }
 
@@ -38,6 +48,9 @@ func TestRunErrors(t *testing.T) {
 		{"-scheduler", "uniform", "-batch", "128"},
 		// A negative batch size would be silently coerced to the default.
 		{"-scheduler", "batched", "-batch", "-5"},
+		// -eps outside (0,1) or off the countbatch scheduler.
+		{"-scheduler", "countbatch", "-eps", "1.5"},
+		{"-scheduler", "weighted", "-eps", "0.1"},
 		{"-badflag"},
 	}
 	for _, args := range cases {

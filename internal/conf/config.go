@@ -210,6 +210,30 @@ func (c Config) SubInPlace(d Config) bool {
 	return true
 }
 
+// AddDeltaInPlace adds the dense displacement d (one slot per state,
+// indexed like the space, entries may be negative) to the receiver in
+// place when every resulting count stays non-negative, reporting
+// ok=true; otherwise it leaves the receiver unchanged and reports
+// ok=false. Like the other in-place methods it is reserved for callers
+// that own the receiver; batch simulation engines use it to apply an
+// aggregate of many interactions at once.
+func (c Config) AddDeltaInPlace(d []int64) bool {
+	if len(d) != len(c.v) {
+		panic(fmt.Sprintf("conf: displacement over %d states applied to space %v", len(d), c.space))
+	}
+	for i, n := range d {
+		if c.v[i]+n < 0 {
+			// Roll back the prefix already applied.
+			for j := 0; j < i; j++ {
+				c.v[j] -= d[j]
+			}
+			return false
+		}
+		c.v[i] += n
+	}
+	return true
+}
+
 // CopyFrom overwrites the receiver's counts with d's, mutating it. Both
 // configurations must be over the same space; the caller owns the
 // receiver.

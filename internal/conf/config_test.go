@@ -298,6 +298,34 @@ func TestCopyFromAndRawCounts(t *testing.T) {
 	}
 }
 
+func TestAddDeltaInPlace(t *testing.T) {
+	c := randomConfig([4]int16{10, 0, 5, 3})
+	if !c.AddDeltaInPlace([]int64{-10, 4, 0, -3}) {
+		t.Fatal("feasible displacement rejected")
+	}
+	if got := []int64{c.Get(0), c.Get(1), c.Get(2), c.Get(3)}; got[0] != 0 || got[1] != 4 || got[2] != 5 || got[3] != 0 {
+		t.Errorf("counts after displacement = %v", got)
+	}
+	// A displacement that would go negative anywhere must leave the
+	// configuration untouched, including slots before the violation.
+	before := c.Clone()
+	if c.AddDeltaInPlace([]int64{3, -2, -6, 0}) {
+		t.Fatal("negative-going displacement accepted")
+	}
+	if !c.Equal(before) {
+		t.Errorf("rejected displacement mutated the configuration: %v -> %v", before, c)
+	}
+}
+
+func TestAddDeltaInPlaceLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length-mismatched displacement accepted")
+		}
+	}()
+	randomConfig([4]int16{1, 1, 1, 1}).AddDeltaInPlace([]int64{1, 2})
+}
+
 // Property: the in-place operations agree with their value-returning
 // counterparts.
 func TestQuickInPlaceAgree(t *testing.T) {

@@ -74,6 +74,23 @@ func (x *Index) Delta(ti int) []SparseEntry { return x.delta[ti] }
 // mutated.
 func (x *Index) Dependents(state int) []int { return x.dependents[state] }
 
+// AggregateDelta accumulates the displacement of firing each
+// transition ti fires[ti] times into the dense per-state vector disp
+// (indexed like the net's space): disp += Σ_ti fires[ti]·Delta(ti).
+// Batch simulation engines use it to apply many interactions as one
+// configuration update. len(fires) must cover every transition with a
+// nonzero count; disp is not cleared first.
+func (x *Index) AggregateDelta(fires []int64, disp []int64) {
+	for ti, k := range fires {
+		if k == 0 {
+			continue
+		}
+		for _, e := range x.delta[ti] {
+			disp[e.State] += k * e.N
+		}
+	}
+}
+
 // Affected returns the transitions whose instance weight can change
 // when transition ti fires: the deduplicated dependents of ti's delta
 // support, precomputed so the simulation hot path needs no per-fire

@@ -37,6 +37,25 @@ func TestIndexChain(t *testing.T) {
 	}
 }
 
+func TestIndexAggregateDelta(t *testing.T) {
+	n := chainNet(t) // ab: a->b, bc: b->c
+	idx := n.Index()
+	disp := make([]int64, 3)
+	// 5 firings of ab and 3 of bc: a -5, b +5-3, c +3, accumulated on
+	// top of whatever is already in disp.
+	disp[2] = 1
+	idx.AggregateDelta([]int64{5, 3}, disp)
+	if want := []int64{-5, 2, 4}; !reflect.DeepEqual(disp, want) {
+		t.Errorf("AggregateDelta = %v, want %v", disp, want)
+	}
+	// All-zero fires touch nothing.
+	before := append([]int64(nil), disp...)
+	idx.AggregateDelta([]int64{0, 0}, disp)
+	if !reflect.DeepEqual(disp, before) {
+		t.Errorf("zero fires mutated disp: %v", disp)
+	}
+}
+
 func TestIndexCatalyst(t *testing.T) {
 	// A catalyst state (equal pre and post counts) is in Pre but not in
 	// Delta: its count never changes when the transition fires, so it

@@ -56,7 +56,9 @@ func Sweep(p *core.Protocol, inputState string, xs []int64, expected func(x int6
 					continue
 				}
 				o := inner
-				o.Seed = opts.Seed + x*7_919 // decorrelate sizes deterministically
+				// Give each size its own hashed base seed: deterministic,
+				// and uncorrelated across nearby seeds and sizes.
+				o.Seed = DeriveSeedK(opts.Seed, x)
 				stats, err := RunMany(p, input, expected(x), trials, o)
 				if err != nil {
 					errs[idx] = err

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counting"
+)
+
+// Cross-validation on the E10 protocols: the count-based batch
+// scheduler must agree with the exact weighted scheduler on what the
+// protocols compute and, within tolerance, on how long they take. At
+// these population sizes the stepper mixes exact stepping and small
+// aggregates, covering the fallback boundary.
+func TestCountBatchedMatchesWeightedStats(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (*core.Protocol, error)
+		x    int64
+		want bool
+	}{
+		{"example42(4)", func() (*core.Protocol, error) { return counting.Example42(4) }, 12, true},
+		{"flock(8)", func() (*core.Protocol, error) { return counting.FlockOfBirds(8) }, 40, true},
+		{"power2(4)", func() (*core.Protocol, error) { return counting.PowerOfTwo(4) }, 64, true},
+	}
+	for _, c := range cases {
+		p, err := c.mk()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		input, err := p.Input(map[string]int64{"i": c.x})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		runWith := func(sched Scheduler) *Stats {
+			stats, err := RunMany(p, input, c.want, 20, Options{
+				Seed: 77, MaxSteps: 400_000, StablePatience: 2_000, Scheduler: sched,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.name, sched.Name(), err)
+			}
+			if stats.Converged != 20 || stats.Correct != 20 {
+				t.Fatalf("%s/%s: correct %d/20, converged %d/20",
+					c.name, sched.Name(), stats.Correct, stats.Converged)
+			}
+			return stats
+		}
+		w, cb := runWith(Weighted{}), runWith(CountBatched{})
+		if ratio := cb.MeanLastChange / w.MeanLastChange; ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: MeanLastChange countbatch %.0f vs weighted %.0f (ratio %.2f)",
+				c.name, cb.MeanLastChange, w.MeanLastChange, ratio)
+		}
+	}
+}
+
+// At a population where batching genuinely engages, the time to the
+// absorbing all-⊤ deadlock must match the exact scheduler closely:
+// both schedulers walk the same Markov chain up to the tolerated
+// O(eps) per-batch drift.
+func TestCountBatchedMatchesWeightedLargeFlock(t *testing.T) {
+	p, err := counting.FlockOfBirds(8)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	input, err := p.Input(map[string]int64{"i": 5_000})
+	if err != nil {
+		t.Fatalf("input: %v", err)
+	}
+	runWith := func(sched Scheduler) *Stats {
+		stats, err := RunMany(p, input, true, 5, Options{
+			Seed: 5, MaxSteps: 1 << 22, Scheduler: sched,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if stats.Converged != 5 || stats.Correct != 5 {
+			t.Fatalf("%s: correct %d/5, converged %d/5", sched.Name(), stats.Correct, stats.Converged)
+		}
+		return stats
+	}
+	w, cb := runWith(Weighted{}), runWith(CountBatched{})
+	if ratio := cb.MeanSteps / w.MeanSteps; math.Abs(ratio-1) > 0.1 {
+		t.Errorf("MeanSteps countbatch %.0f vs weighted %.0f (ratio %.3f, want within 10%%)",
+			cb.MeanSteps, w.MeanSteps, ratio)
+	}
+}
+
+// The large-n regime the scheduler exists for: a power-of-two counting
+// protocol at a million agents converges to the correct consensus on
+// both sides of the threshold, ending in the absorbing deadlock.
+func TestCountBatchedLargeNPower2(t *testing.T) {
+	p, err := counting.PowerOfTwo(20)
+	if err != nil {
+		t.Fatalf("PowerOfTwo: %v", err)
+	}
+	for _, tc := range []struct {
+		x    int64
+		want bool
+	}{
+		{1 << 20, true},
+		{1<<20 - 1, false},
+	} {
+		input, err := p.Input(map[string]int64{"i": tc.x})
+		if err != nil {
+			t.Fatalf("input: %v", err)
+		}
+		res, err := Run(p, input, Options{Seed: 3, MaxSteps: 1 << 24, Scheduler: CountBatched{}})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		v, ok := res.ConsensusBool()
+		if !res.Converged || !ok || v != tc.want {
+			t.Errorf("x=%d: converged=%v consensus=(%v,%v), want (%v,true); %d steps",
+				tc.x, res.Converged, v, ok, tc.want, res.Steps)
+		}
+		if !res.Deadlocked {
+			t.Errorf("x=%d: expected the absorbing deadlock, got %d steps without one", tc.x, res.Steps)
+		}
+	}
+}
+
+func TestCountBatchedRespectsMaxSteps(t *testing.T) {
+	p, err := counting.PowerOfTwo(10)
+	if err != nil {
+		t.Fatalf("PowerOfTwo: %v", err)
+	}
+	input, err := p.Input(map[string]int64{"i": 1 << 10})
+	if err != nil {
+		t.Fatalf("input: %v", err)
+	}
+	res, err := Run(p, input, Options{Seed: 2, MaxSteps: 100, Scheduler: CountBatched{}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Steps > 100 {
+		t.Errorf("count-batched run took %d steps, cap 100", res.Steps)
+	}
+}
+
+func TestCountBatchedDeadlockedStart(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	input, err := p.Input(map[string]int64{"i": 1})
+	if err != nil {
+		t.Fatalf("input: %v", err)
+	}
+	res, err := Run(p, input, Options{Seed: 1, MaxSteps: 100, Scheduler: CountBatched{}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Deadlocked || res.Steps != 0 {
+		t.Errorf("expected immediate deadlock, got %+v", res)
+	}
+}
+
+func TestCountBatchedAttachValidation(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	for _, cb := range []CountBatched{
+		{Epsilon: -0.1},
+		{Epsilon: 1},
+		{Epsilon: 2.5},
+		{MinBatch: -1},
+	} {
+		if _, err := cb.Attach(NewState(p)); err == nil {
+			t.Errorf("CountBatched%+v accepted", cb)
+		}
+	}
+	if _, err := (CountBatched{Epsilon: 0.2, MinBatch: 128}).Attach(NewState(p)); err != nil {
+		t.Errorf("valid CountBatched rejected: %v", err)
+	}
+}

@@ -145,10 +145,56 @@ func (st *State) resetFrom(initial conf.Config) {
 			st.occ[st.gamma[i]]++
 		}
 	}
+	st.Resync()
+}
+
+// Resync recomputes every transition weight and the Fenwick tree
+// exactly from the current counts: O(|T|·width) work that aggregate
+// appliers pay once per batch instead of reweighing per interaction.
+func (st *State) Resync() {
 	for ti := range st.weights {
 		st.weights[ti] = st.weight(ti)
 	}
 	st.rebuild()
+}
+
+// ApplyAggregate fires transition ti fires[ti] times for every ti, as
+// one aggregate displacement: the summed delta is accumulated over the
+// dependency index, applied to the counts in a single pass, and the
+// weights are then resynced exactly — the engine half of the
+// count-based batch regime. disp is caller-owned scratch with one slot
+// per state. When some count would go negative the state is left
+// unchanged and ok is false (the caller shrinks its batch and
+// retries). ApplyAggregate checks only count non-negativity of the net
+// displacement; the caller is responsible for the fires being a
+// plausible interaction batch.
+func (st *State) ApplyAggregate(fires []int64, disp []int64) bool {
+	for i := range disp {
+		disp[i] = 0
+	}
+	st.idx.AggregateDelta(fires, disp)
+	if !st.counts.AddDeltaInPlace(disp) {
+		return false
+	}
+	for ti, k := range fires {
+		if k != 0 {
+			st.agents += k * st.deltaAgents[ti]
+		}
+	}
+	for i, d := range disp {
+		if d == 0 {
+			continue
+		}
+		// The state's old count was cv[i]−d: occupancy flips when a
+		// count crosses zero in either direction.
+		if now := st.cv[i]; now == d {
+			st.occ[st.gamma[i]]++
+		} else if now == 0 {
+			st.occ[st.gamma[i]]--
+		}
+	}
+	st.Resync()
+	return true
 }
 
 // weight computes transition ti's exact instance weight from the

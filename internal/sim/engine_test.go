@@ -132,6 +132,103 @@ func TestEngineRejectsWrongSpace(t *testing.T) {
 	}
 }
 
+// ApplyAggregate must be extensionally equal to firing the same
+// multiset of transitions one at a time: same counts, weights, agents,
+// occupancy-derived output and total weight.
+func TestEngineApplyAggregateMatchesSequentialFires(t *testing.T) {
+	protos := []func() (*core.Protocol, error){
+		func() (*core.Protocol, error) { return counting.FlockOfBirds(6) },
+		func() (*core.Protocol, error) { return counting.PowerOfTwo(3) },
+		func() (*core.Protocol, error) { return spec.Majority("A", "B") },
+	}
+	for _, mk := range protos {
+		p, err := mk()
+		if err != nil {
+			t.Fatalf("protocol: %v", err)
+		}
+		counts := map[string]int64{}
+		for i, s := range p.InitialStates() {
+			counts[s] = int64(40 + 9*i)
+		}
+		input, err := p.Input(counts)
+		if err != nil {
+			t.Fatalf("input: %v", err)
+		}
+		seq, agg := NewState(p), NewState(p)
+		if err := seq.Reset(input); err != nil {
+			t.Fatalf("Reset: %v", err)
+		}
+		if err := agg.Reset(input); err != nil {
+			t.Fatalf("Reset: %v", err)
+		}
+		// Generate a feasible batch by running the sequential engine,
+		// recording how often each transition fired.
+		rng := NewRNG(7)
+		fires := make([]int64, p.Net().Len())
+		for step := 0; step < 120; step++ {
+			ti, ok := seq.Sample(rng)
+			if !ok {
+				break
+			}
+			seq.Fire(ti)
+			fires[ti]++
+		}
+		disp := make([]int64, p.Space().Len())
+		if !agg.ApplyAggregate(fires, disp) {
+			t.Fatalf("%s: feasible aggregate rejected", p.Name())
+		}
+		if !agg.Snapshot().Equal(seq.Snapshot()) {
+			t.Fatalf("%s: aggregate counts %v, sequential %v", p.Name(), agg.Snapshot(), seq.Snapshot())
+		}
+		if agg.Agents() != seq.Agents() {
+			t.Errorf("%s: aggregate agents %d, sequential %d", p.Name(), agg.Agents(), seq.Agents())
+		}
+		if agg.Output() != seq.Output() {
+			t.Errorf("%s: aggregate output %v, sequential %v", p.Name(), agg.Output(), seq.Output())
+		}
+		for ti := 0; ti < p.Net().Len(); ti++ {
+			if agg.Weight(ti) != seq.Weight(ti) {
+				t.Errorf("%s: weight(%d) aggregate %v, sequential %v", p.Name(), ti, agg.Weight(ti), seq.Weight(ti))
+			}
+		}
+		if agg.TotalWeight() != seq.TotalWeight() {
+			t.Errorf("%s: total weight aggregate %v, sequential %v", p.Name(), agg.TotalWeight(), seq.TotalWeight())
+		}
+	}
+}
+
+// An aggregate that would drive a count negative must be rejected
+// wholesale, leaving every maintained structure untouched.
+func TestEngineApplyAggregateRejectsNegative(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	input, err := p.Input(map[string]int64{"i": 5})
+	if err != nil {
+		t.Fatalf("input: %v", err)
+	}
+	st := NewState(p)
+	if err := st.Reset(input); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	before := st.Snapshot()
+	agentsBefore, outBefore, totalBefore := st.Agents(), st.Output(), st.TotalWeight()
+	// Fire the first i-consuming merge far more often than 5 agents allow.
+	fires := make([]int64, p.Net().Len())
+	fires[0] = 100
+	disp := make([]int64, p.Space().Len())
+	if st.ApplyAggregate(fires, disp) {
+		t.Fatal("infeasible aggregate accepted")
+	}
+	if !st.Snapshot().Equal(before) {
+		t.Errorf("rejected aggregate mutated counts: %v -> %v", before, st.Snapshot())
+	}
+	if st.Agents() != agentsBefore || st.Output() != outBefore || st.TotalWeight() != totalBefore {
+		t.Error("rejected aggregate mutated derived state")
+	}
+}
+
 func TestEngineTotalWeight(t *testing.T) {
 	p, err := counting.Example42(2)
 	if err != nil {

@@ -1,6 +1,9 @@
 package sim
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // splitmixGamma is the splitmix64 stream increment (the golden gamma).
 const splitmixGamma = 0x9e3779b97f4a7c15
@@ -50,3 +53,145 @@ func (r *RNG) Int63n(n int64) int64 {
 
 // Intn returns a uniform int in [0, n) for n > 0.
 func (r *RNG) Intn(n int) int { return int(r.Int63n(int64(n))) }
+
+// btrsCutoff is the mean below which Binomial uses CDF inversion; at
+// and above it the BTRS rejection sampler applies (it requires
+// n·min(p,1−p) ≥ 10).
+const btrsCutoff = 10
+
+// Binomial returns a draw from Binomial(n, p): the number of successes
+// in n independent trials of probability p. Small means invert the CDF
+// (O(np) expected work); large means use Hörmann's BTRS transformed
+// rejection (O(1) expected work), so one draw is cheap at every scale —
+// the property the count-based batch scheduler relies on.
+func (r *RNG) Binomial(n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	if float64(n)*p < btrsCutoff {
+		return r.binomialInv(n, p)
+	}
+	return r.btrs(n, p)
+}
+
+// binomialInv draws Binomial(n, p), p ≤ 1/2, by CDF inversion with the
+// pmf ratio recurrence f(k+1) = f(k)·(n−k)/(k+1)·p/(1−p); at the small
+// means it is used for (np < 10) the expected iteration count is np+1.
+// The search is capped far beyond the distribution's effective support
+// so float rounding in the accumulated tail cannot walk to k = n.
+func (r *RNG) binomialInv(n int64, p float64) int64 {
+	q := 1 - p
+	ratio := p / q
+	f := math.Exp(float64(n) * math.Log1p(-p)) // (1−p)^n
+	limit := int64(float64(n)*p + 60*math.Sqrt(float64(n)*p*q) + 100)
+	if limit > n {
+		limit = n
+	}
+	u := r.Float64()
+	var k int64
+	for u >= f && k < limit {
+		u -= f
+		f *= ratio * float64(n-k) / float64(k+1)
+		k++
+	}
+	return k
+}
+
+// btrs draws Binomial(n, p) for p ≤ 1/2 and np ≥ 10 with the
+// transformed-rejection algorithm BTRS of Hörmann (1993): proposals
+// come from a transformed uniform whose inverse dominates the binomial
+// shape; a squeeze accepts most of them with four flops, the rest are
+// decided by one exact log-density comparison.
+func (r *RNG) btrs(n int64, p float64) int64 {
+	fn := float64(n)
+	q := 1 - p
+	spq := math.Sqrt(fn * p * q)
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := fn*p + 0.5
+	vr := 0.92 - 4.2/b
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor((fn + 1) * p)
+	h := lgamma(m+1) + lgamma(fn-m+1)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		if us >= 0.07 && v <= vr {
+			return int64(k)
+		}
+		if k < 0 || k > fn {
+			continue
+		}
+		if math.Log(v*alpha/(a/(us*us)+b)) <= h-lgamma(k+1)-lgamma(fn-k+1)+(k-m)*lpq {
+			return int64(k)
+		}
+	}
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Multinomial distributes n draws over the weights proportionally,
+// writing per-category counts into out (len(out) must equal
+// len(weights); non-positive weights draw zero). It factors the
+// multinomial into conditional binomials — category i receives
+// Binomial(remaining draws, wᵢ/Σ_{j≥i} wⱼ) — so one call costs
+// O(len(weights)) binomial draws regardless of n. At least one weight
+// must be positive when n > 0.
+func (r *RNG) Multinomial(n int64, weights []float64, out []int64) {
+	if len(out) != len(weights) {
+		panic("sim: Multinomial out/weights length mismatch")
+	}
+	var wrem float64
+	for _, w := range weights {
+		if w > 0 {
+			wrem += w
+		}
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	if n <= 0 {
+		return
+	}
+	if wrem <= 0 {
+		panic("sim: Multinomial with no positive weight")
+	}
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if w >= wrem {
+			// Last positive weight (up to float rounding): everything
+			// remaining lands here, also absorbing accumulated drift.
+			out[i] = n
+			return
+		}
+		k := r.Binomial(n, w/wrem)
+		out[i] = k
+		n -= k
+		wrem -= w
+		if n == 0 {
+			return
+		}
+	}
+	// Rounding in wrem exhausted the weights with draws left over; give
+	// them to the final positive-weight category.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			out[i] += n
+			return
+		}
+	}
+}

@@ -215,8 +215,10 @@ func (s *batchedStepper) Step(rng *RNG, limit int) (int, bool) {
 }
 
 // SchedulerByName resolves a CLI scheduler name. batch applies to the
-// batched scheduler's batch size (0 means DefaultBatch).
-func SchedulerByName(name string, batch int) (Scheduler, error) {
+// batched scheduler's batch size and to countbatch's aggregation
+// threshold MinBatch (0 means the scheduler's default); eps applies to
+// countbatch's drift tolerance (0 means DefaultEpsilon).
+func SchedulerByName(name string, batch int, eps float64) (Scheduler, error) {
 	switch name {
 	case "", "weighted":
 		return Weighted{}, nil
@@ -224,7 +226,9 @@ func SchedulerByName(name string, batch int) (Scheduler, error) {
 		return UniformPairs{}, nil
 	case "batched":
 		return Batched{K: batch}, nil
+	case "countbatch":
+		return CountBatched{Epsilon: eps, MinBatch: batch}, nil
 	default:
-		return nil, fmt.Errorf("sim: unknown scheduler %q (have weighted, uniform, batched)", name)
+		return nil, fmt.Errorf("sim: unknown scheduler %q (have weighted, uniform, batched, countbatch)", name)
 	}
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func schedulers() []Scheduler {
-	return []Scheduler{Weighted{}, UniformPairs{}, Batched{K: 64}}
+	return []Scheduler{Weighted{}, UniformPairs{}, Batched{K: 64}, CountBatched{}}
 }
 
 // All three schedulers must agree on what the protocols compute: this
@@ -143,12 +143,13 @@ func TestBatchedRespectsMaxSteps(t *testing.T) {
 
 func TestSchedulerByName(t *testing.T) {
 	for name, want := range map[string]string{
-		"":         "weighted",
-		"weighted": "weighted",
-		"uniform":  "uniform",
-		"batched":  "batched",
+		"":           "weighted",
+		"weighted":   "weighted",
+		"uniform":    "uniform",
+		"batched":    "batched",
+		"countbatch": "countbatch",
 	} {
-		s, err := SchedulerByName(name, 0)
+		s, err := SchedulerByName(name, 0, 0)
 		if err != nil {
 			t.Fatalf("SchedulerByName(%q): %v", name, err)
 		}
@@ -156,7 +157,7 @@ func TestSchedulerByName(t *testing.T) {
 			t.Errorf("SchedulerByName(%q).Name() = %q, want %q", name, s.Name(), want)
 		}
 	}
-	if _, err := SchedulerByName("nope", 0); err == nil {
+	if _, err := SchedulerByName("nope", 0, 0); err == nil {
 		t.Error("unknown scheduler name accepted")
 	}
 }

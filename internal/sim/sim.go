@@ -198,6 +198,17 @@ func DeriveSeed(base int64, trial int) int64 {
 	return int64(mix64(uint64(base) + splitmixGamma*uint64(trial+1)))
 }
 
+// DeriveSeedK is DeriveSeed for 64-bit indices on a separated
+// substream: Sweep derives each population size's base seed with it
+// before the per-trial DeriveSeed fan-out. The extra mix of the base
+// keeps (base, k) streams disjoint from DeriveSeed's (base, trial)
+// streams, so a sweep point's seed never aliases a trial seed of a
+// nearby base. (The old affine base + x·7919 derivation had the same
+// collision structure DeriveSeed replaced in RunMany.)
+func DeriveSeedK(base, k int64) int64 {
+	return int64(mix64(mix64(uint64(base)+splitmixGamma) + splitmixGamma*uint64(k)))
+}
+
 // RunMany executes trials runs with derived seeds and aggregates
 // statistics, comparing each consensus with the expected predicate
 // value. Trials run concurrently on a bounded worker pool; each worker
