@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bounds"
@@ -180,7 +181,7 @@ func BenchmarkSweepFlock(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts, err := sim.Sweep(p, "i", xs, func(x int64) bool { return x >= 8 }, 8,
+		pts, err := sim.Sweep(context.Background(), p, "i", xs, func(x int64) bool { return x >= 8 }, 8,
 			sim.Options{Seed: 42, MaxSteps: 400_000, StablePatience: 2_000})
 		if err != nil {
 			b.Fatal(err)
@@ -208,7 +209,7 @@ func BenchmarkSweepSchedulers(b *testing.B) {
 		b.Run(sched.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				stats, err := sim.RunMany(p, input, true, 8, sim.Options{
+				stats, err := sim.RunMany(context.Background(), p, input, true, 8, sim.Options{
 					Seed: 42, MaxSteps: 400_000, StablePatience: 2_000, Scheduler: sched,
 				})
 				if err != nil {

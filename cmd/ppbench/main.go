@@ -6,13 +6,19 @@
 //
 //	ppbench                      # run every experiment
 //	ppbench E3 E8                # run selected experiments by id
+//	ppbench -run 'E1[01]'        # run experiments whose id matches a regexp
 //	ppbench -json bench.json     # also record per-experiment timings
+//
+// Positional ids and -run compose as a union: an experiment runs when
+// either selects it. Shard hosts in a distributed sweep use -run to
+// time only the experiments they executed.
 //
 // With -json, per-experiment timing results (name, wall time in ns,
 // heap allocation count) are written to the given path together with
 // host metadata (hostname, OS/arch, CPU count, GOMAXPROCS, Go version,
-// VCS commit), so BENCH_*.json artifacts collected from different
-// machines — per-PR CI uploads, sharded sweep hosts — stay comparable.
+// VCS commit; see internal/hostmeta), so BENCH_*.json artifacts
+// collected from different machines — per-PR CI uploads, sharded sweep
+// hosts — stay comparable.
 package main
 
 import (
@@ -21,13 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
+	"regexp"
 	"runtime"
-	"runtime/debug"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/hostmeta"
 )
 
 func main() {
@@ -47,85 +53,45 @@ type timing struct {
 }
 
 // artifact is the -json document: the timings plus the host/commit
-// metadata that makes artifacts from different machines comparable.
+// metadata (embedded hostmeta.Meta) that makes artifacts from
+// different machines comparable.
 type artifact struct {
-	Schema     int      `json:"schema"` // artifact format version
-	Hostname   string   `json:"hostname,omitempty"`
-	OS         string   `json:"os"`
-	Arch       string   `json:"arch"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	GoVersion  string   `json:"go_version"`
-	Commit     string   `json:"commit,omitempty"`
-	Timings    []timing `json:"timings"`
-}
-
-// hostArtifact fills in everything but the timings.
-func hostArtifact() artifact {
-	a := artifact{
-		Schema:     1,
-		OS:         runtime.GOOS,
-		Arch:       runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-	}
-	if h, err := os.Hostname(); err == nil {
-		a.Hostname = h
-	}
-	a.Commit = commit()
-	return a
-}
-
-// commit best-efforts the VCS revision: the build info stamp when the
-// binary was built with VCS stamping, otherwise a direct git query
-// (the `go run` path); empty when neither is available.
-func commit() string {
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		rev, dirty := "", false
-		for _, s := range bi.Settings {
-			switch s.Key {
-			case "vcs.revision":
-				rev = s.Value
-			case "vcs.modified":
-				dirty = s.Value == "true"
-			}
-		}
-		if rev != "" {
-			if dirty {
-				rev += "-dirty"
-			}
-			return rev
-		}
-	}
-	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
-	if err != nil {
-		return ""
-	}
-	rev := strings.TrimSpace(string(out))
-	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
-		rev += "-dirty"
-	}
-	return rev
+	Schema int `json:"schema"` // artifact format version
+	hostmeta.Meta
+	Timings []timing `json:"timings"`
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppbench", flag.ContinueOnError)
 	jsonPath := fs.String("json", "", "write per-experiment timings (name, ns_op, allocs_op) to this path")
+	runFilter := fs.String("run", "", "run only experiments whose id matches this regexp")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
+	var re *regexp.Regexp
+	if *runFilter != "" {
+		var err error
+		if re, err = regexp.Compile("(?i)" + *runFilter); err != nil {
+			return fmt.Errorf("bad -run regexp: %w", err)
+		}
+	}
 	want := make(map[string]bool, fs.NArg())
 	for _, a := range fs.Args() {
 		want[strings.ToUpper(a)] = true
 	}
+	selected := func(id string) bool {
+		if len(want) == 0 && re == nil {
+			return true
+		}
+		return want[strings.ToUpper(id)] || (re != nil && re.MatchString(id))
+	}
 	var timings []timing
 	printed := 0
 	for _, e := range experiments.Index() {
-		if len(want) > 0 && !want[strings.ToUpper(e.ID)] {
+		if !selected(e.ID) {
 			continue
 		}
 		var before, after runtime.MemStats
@@ -145,11 +111,11 @@ func run(args []string) error {
 			AllocsOp: after.Mallocs - before.Mallocs,
 		})
 	}
-	if len(want) > 0 && printed == 0 {
-		return fmt.Errorf("no experiment matches %v", fs.Args())
+	if (len(want) > 0 || re != nil) && printed == 0 {
+		return fmt.Errorf("no experiment matches %v", append(fs.Args(), *runFilter))
 	}
 	if *jsonPath != "" {
-		art := hostArtifact()
+		art := artifact{Schema: 1, Meta: hostmeta.Collect()}
 		art.Timings = timings
 		data, err := json.MarshalIndent(art, "", "  ")
 		if err != nil {

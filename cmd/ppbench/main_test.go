@@ -25,6 +25,56 @@ func TestRunUnknown(t *testing.T) {
 	}
 }
 
+func TestRunRegexpFilter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	// ^E[26]$ selects exactly E2 and E6; case-insensitive like the
+	// positional ids.
+	if err := run([]string{"-run", "^e[26]$", "-json", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read timings: %v", err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(art.Timings) != 2 || art.Timings[0].Name != "E2" || art.Timings[1].Name != "E6" {
+		t.Fatalf("timings = %+v, want exactly E2 and E6", art.Timings)
+	}
+}
+
+func TestRunRegexpUnionWithIDs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-run", "^E2$", "-json", path, "E6"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read timings: %v", err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(art.Timings) != 2 {
+		t.Fatalf("timings = %+v, want the union E2 ∪ E6", art.Timings)
+	}
+}
+
+func TestRunRegexpNoMatch(t *testing.T) {
+	if err := run([]string{"-run", "^ZZZ$"}); err == nil {
+		t.Fatal("no-match regexp accepted")
+	}
+}
+
+func TestRunBadRegexp(t *testing.T) {
+	if err := run([]string{"-run", "("}); err == nil {
+		t.Fatal("invalid regexp accepted")
+	}
+}
+
 func TestRunJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := run([]string{"-json", path, "E2", "E6"}); err != nil {

@@ -1,0 +1,238 @@
+// Command ppsweep orchestrates sharded population-protocol sweeps: it
+// plans a sweep into self-contained shards, runs one shard (the worker
+// role, one invocation per shard, on any host), and merges the partial
+// artifacts back into exactly the single-process sweep result.
+//
+// Usage:
+//
+//	ppsweep plan -protocol flock -param 8 -sizes 16,64,256 -trials 20 \
+//	        -seed 1 -shards 4 -o plan.json
+//	ppsweep run -plan plan.json -shard s002 -o part-s002.json
+//	ppsweep merge -o merged.json part-*.json
+//
+// plan partitions the (size × trial) grid deterministically: the same
+// flags always produce the identical manifest, so independent hosts
+// can re-derive the plan instead of shipping it. run executes one
+// shard's trials with positionally derived seeds and writes a partial
+// artifact stamped with host metadata; SIGINT cancels promptly,
+// leaving no artifact. merge verifies the artifacts belong to one
+// sweep, detects overlapping or missing shards and mixed schema
+// versions, folds the mergeable accumulators, and writes a merged
+// document that is bit-identical to what an unsharded run of the same
+// spec would have produced.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"repro/internal/registry"
+	"repro/internal/shard"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ppsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: ppsweep <plan|run|merge> [flags] (see -h of each subcommand)")
+	}
+	switch args[0] {
+	case "plan":
+		return runPlan(args[1:], out)
+	case "run":
+		return runShard(ctx, args[1:], out)
+	case "merge":
+		return runMerge(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (have plan, run, merge)", args[0])
+	}
+}
+
+func runPlan(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppsweep plan", flag.ContinueOnError)
+	var (
+		protocol  = fs.String("protocol", "", fmt.Sprintf("construction: %v", registry.Names()))
+		param     = fs.Int64("param", 2, "construction parameter (n or k)")
+		inState   = fs.String("input", "i", "input state holding the swept agent count")
+		sizes     = fs.String("sizes", "", "comma-separated population sizes, e.g. 8,64,512")
+		trials    = fs.Int("trials", 10, "trials per size")
+		seed      = fs.Int64("seed", 1, "sweep base seed")
+		steps     = fs.Int("steps", 0, "max interactions per run (0 = sim default)")
+		patience  = fs.Int("patience", 0, "consensus patience (0 = whole-run mode)")
+		scheduler = fs.String("scheduler", "", "scheduler: weighted (default), uniform, batched, countbatch")
+		batch     = fs.Int("batch", 0, "batched batch size / countbatch aggregation threshold")
+		eps       = fs.Float64("eps", 0, "countbatch drift tolerance")
+		shards    = fs.Int("shards", 1, "number of shards to plan")
+		outPath   = fs.String("o", "plan.json", "manifest output path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return flagErr(err)
+	}
+	xs, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	sw := shard.SweepSpec{
+		Protocol:   *protocol,
+		Param:      *param,
+		InputState: *inState,
+		Sizes:      xs,
+		Trials:     *trials,
+		Seed:       *seed,
+		MaxSteps:   *steps,
+		Patience:   *patience,
+		Scheduler:  *scheduler,
+		Batch:      *batch,
+		Epsilon:    *eps,
+	}
+	// Fail at plan time, not on the worker: the protocol must exist and
+	// decide a counting predicate.
+	if _, _, err := sw.Build(); err != nil {
+		return err
+	}
+	m, err := shard.Plan(sw, *shards)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(*outPath, m); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "planned %d shards over %d sizes × %d trials -> %s\n",
+		len(m.Shards), len(sw.Sizes), sw.Trials, *outPath)
+	for _, s := range m.Shards {
+		fmt.Fprintf(out, "  %s: %d trials in %d cells\n", s.ID, s.Trials(), len(s.Cells))
+	}
+	return nil
+}
+
+func runShard(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppsweep run", flag.ContinueOnError)
+	var (
+		planPath = fs.String("plan", "plan.json", "manifest path (from ppsweep plan)")
+		shardID  = fs.String("shard", "", "shard id to execute, e.g. s002")
+		workers  = fs.Int("workers", 0, "trial worker pool bound (0 = GOMAXPROCS)")
+		outPath  = fs.String("o", "", "artifact output path (default part-<shard>.json)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return flagErr(err)
+	}
+	if *shardID == "" {
+		return errors.New("run: -shard is required")
+	}
+	var m shard.Manifest
+	if err := readJSON(*planPath, &m); err != nil {
+		return err
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	art, err := shard.Run(ctx, &m, *shardID, *workers)
+	if err != nil {
+		return err
+	}
+	path := *outPath
+	if path == "" {
+		path = fmt.Sprintf("part-%s.json", *shardID)
+	}
+	if err := writeJSON(path, art); err != nil {
+		return err
+	}
+	trials := 0
+	for _, pt := range art.Points {
+		trials += pt.Stats.Trials
+	}
+	fmt.Fprintf(out, "shard %s: %d trials over %d cells -> %s\n", *shardID, trials, len(art.Points), path)
+	return nil
+}
+
+func runMerge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppsweep merge", flag.ContinueOnError)
+	outPath := fs.String("o", "merged.json", "merged output path")
+	if err := fs.Parse(args); err != nil {
+		return flagErr(err)
+	}
+	if fs.NArg() == 0 {
+		return errors.New("merge: no artifact files given")
+	}
+	arts := make([]*shard.Artifact, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		var a shard.Artifact
+		if err := readJSON(path, &a); err != nil {
+			return err
+		}
+		arts = append(arts, &a)
+	}
+	merged, err := shard.Merge(arts)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(*outPath, merged); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "merged %d artifacts -> %s\n", len(arts), *outPath)
+	fmt.Fprintf(out, "%10s %8s %10s %8s %14s %14s\n",
+		"x", "trials", "converged", "correct", "mean steps", "±95% CI")
+	for _, pt := range merged.Points {
+		st := &pt.Stats
+		fmt.Fprintf(out, "%10d %8d %10d %8d %14.1f %14.1f\n",
+			pt.X, st.Trials, st.Converged, st.Correct, st.MeanSteps(), st.HalfCI95Steps())
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("plan: -sizes is required, e.g. -sizes 8,64,512")
+	}
+	parts := strings.Split(s, ",")
+	xs := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		x, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("plan: bad size %q: %w", p, err)
+		}
+		xs = append(xs, x)
+	}
+	return xs, nil
+}
+
+func flagErr(err error) error {
+	if errors.Is(err, flag.ErrHelp) {
+		return nil
+	}
+	return err
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// planArgs builds the shared flag tail of a small flock sweep.
+func planArgs(dir string, shards int, planName string) []string {
+	return []string{
+		"plan", "-protocol", "flock", "-param", "4", "-sizes", "3,4,9",
+		"-trials", "4", "-seed", "7", "-steps", "200000", "-patience", "1000",
+		"-shards", strconv.Itoa(shards), "-o", filepath.Join(dir, planName),
+	}
+}
+
+func mustRun(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(context.Background(), args, &sb); err != nil {
+		t.Fatalf("ppsweep %v: %v", args, err)
+	}
+	return sb.String()
+}
+
+// The CLI round trip of the acceptance criteria: plan into 2 shards,
+// run both, merge — and the merged document is byte-identical to the
+// one produced by the unsharded (1-shard) pipeline of the same spec.
+func TestPlanRunMergeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 2, "plan2.json")...)
+	mustRun(t, "run", "-plan", filepath.Join(dir, "plan2.json"), "-shard", "s000",
+		"-o", filepath.Join(dir, "part-s000.json"))
+	mustRun(t, "run", "-plan", filepath.Join(dir, "plan2.json"), "-shard", "s001",
+		"-o", filepath.Join(dir, "part-s001.json"))
+	out := mustRun(t, "merge", "-o", filepath.Join(dir, "merged2.json"),
+		filepath.Join(dir, "part-s000.json"), filepath.Join(dir, "part-s001.json"))
+	if !strings.Contains(out, "mean steps") {
+		t.Errorf("merge table missing from output:\n%s", out)
+	}
+
+	mustRun(t, planArgs(dir, 1, "plan1.json")...)
+	mustRun(t, "run", "-plan", filepath.Join(dir, "plan1.json"), "-shard", "s000",
+		"-o", filepath.Join(dir, "part-single.json"))
+	mustRun(t, "merge", "-o", filepath.Join(dir, "merged1.json"),
+		filepath.Join(dir, "part-single.json"))
+
+	sharded, err := os.ReadFile(filepath.Join(dir, "merged2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := os.ReadFile(filepath.Join(dir, "merged1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sharded) != string(single) {
+		t.Errorf("2-shard merge differs from unsharded merge:\n%s\nvs\n%s", sharded, single)
+	}
+
+	var merged shard.Merged
+	if err := json.Unmarshal(sharded, &merged); err != nil {
+		t.Fatalf("merged document: %v", err)
+	}
+	if len(merged.Points) != 3 {
+		t.Fatalf("merged points = %d, want 3", len(merged.Points))
+	}
+	for _, pt := range merged.Points {
+		if pt.Stats.Trials != 4 || pt.Stats.Correct != 4 {
+			t.Errorf("x=%d: %d/%d correct of %d trials",
+				pt.X, pt.Stats.Correct, pt.Stats.Trials, pt.Stats.Trials)
+		}
+	}
+}
+
+func TestPlanDeterministicBytes(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 2, "a.json")...)
+	mustRun(t, planArgs(dir, 2, "b.json")...)
+	a, err := os.ReadFile(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "b.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("same plan flags produced different manifests")
+	}
+}
+
+func TestMergeRejectsDuplicateArtifact(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 2, "plan.json")...)
+	part := filepath.Join(dir, "part-s000.json")
+	mustRun(t, "run", "-plan", filepath.Join(dir, "plan.json"), "-shard", "s000", "-o", part)
+	if err := run(context.Background(),
+		[]string{"merge", "-o", filepath.Join(dir, "m.json"), part, part}, &strings.Builder{}); err == nil {
+		t.Error("merge accepted the same shard twice")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"plan", "-protocol", "flock", "-param", "4", "-trials", "2", "-shards", "1"}, // no sizes
+		{"plan", "-protocol", "nope", "-sizes", "4", "-o", filepath.Join(dir, "p.json")},
+		{"plan", "-protocol", "majority", "-sizes", "4", "-o", filepath.Join(dir, "p.json")}, // non-counting
+		{"plan", "-protocol", "flock", "-param", "4", "-sizes", "4,x", "-o", filepath.Join(dir, "p.json")},
+		{"run", "-plan", filepath.Join(dir, "absent.json"), "-shard", "s000"},
+		{"run", "-plan", filepath.Join(dir, "absent.json")}, // no shard id
+		{"merge", "-o", filepath.Join(dir, "m.json")},       // no artifacts
+		{"merge", "-o", filepath.Join(dir, "m.json"), filepath.Join(dir, "absent.json")},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &strings.Builder{}); err == nil {
+			t.Errorf("ppsweep %v: expected error", args)
+		}
+	}
+}
+
+func TestRunUnknownShardID(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 2, "plan.json")...)
+	if err := run(context.Background(),
+		[]string{"run", "-plan", filepath.Join(dir, "plan.json"), "-shard", "s999"}, &strings.Builder{}); err == nil {
+		t.Error("unknown shard id accepted")
+	}
+}

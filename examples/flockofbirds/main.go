@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,7 +67,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			stats, err := sim.RunMany(e.p, input, x >= n, 20,
+			stats, err := sim.RunMany(context.Background(), e.p, input, x >= n, 20,
 				sim.Options{Seed: 321, MaxSteps: 500_000, StablePatience: 2_000})
 			if err != nil {
 				log.Fatal(err)
@@ -76,7 +77,7 @@ func main() {
 				continue
 			}
 			fmt.Printf("%-16s %6d %10v %8d/%-2d %12.0f\n",
-				e.name, x, x >= n, stats.Correct, stats.Converged, stats.MeanLastChange)
+				e.name, x, x >= n, stats.Correct, stats.Converged, stats.MeanLastChange())
 		}
 	}
 	fmt.Println("\n* n/c: no consensus within the step budget. Example 4.2's reject side")

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bounds"
@@ -60,7 +61,7 @@ func TestEndToEndSoundConstructions(t *testing.T) {
 			if err != nil {
 				t.Fatalf("input: %v", err)
 			}
-			stats, err := sim.RunMany(p, input, true, 5,
+			stats, err := sim.RunMany(context.Background(), p, input, true, 5,
 				sim.Options{Seed: 42, MaxSteps: 500_000, StablePatience: 3_000})
 			if err != nil {
 				t.Fatalf("sim: %v", err)

@@ -1,6 +1,7 @@
 package counting
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestTower1BelowThresholdEmpirical(t *testing.T) {
 	if err != nil {
 		t.Fatalf("input: %v", err)
 	}
-	stats, err := sim.RunMany(p, in, false, 10, sim.Options{Seed: 17, MaxSteps: 200_000, StablePatience: 3000})
+	stats, err := sim.RunMany(context.Background(), p, in, false, 10, sim.Options{Seed: 17, MaxSteps: 200_000, StablePatience: 3000})
 	if err != nil {
 		t.Fatalf("RunMany: %v", err)
 	}
@@ -112,7 +113,7 @@ func TestTower1SimulatesAboveThreshold(t *testing.T) {
 	if err != nil {
 		t.Fatalf("input: %v", err)
 	}
-	stats, err := sim.RunMany(p, in, true, 10, sim.Options{Seed: 5, MaxSteps: 300_000, StablePatience: 3000})
+	stats, err := sim.RunMany(context.Background(), p, in, true, 10, sim.Options{Seed: 5, MaxSteps: 300_000, StablePatience: 3000})
 	if err != nil {
 		t.Fatalf("RunMany: %v", err)
 	}

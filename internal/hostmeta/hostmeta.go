@@ -1,0 +1,74 @@
+// Package hostmeta collects the host/commit metadata stamped into
+// result artifacts — ppbench timing files and ppsweep shard artifacts —
+// so results gathered from different machines (CI runners, sharded
+// sweep hosts) stay attributable and comparable.
+package hostmeta
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Meta identifies the producing host and build. The JSON field names
+// are part of the artifact schemas that embed it.
+type Meta struct {
+	Hostname   string `json:"hostname,omitempty"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// Collect gathers the current host's metadata.
+func Collect() Meta {
+	m := Meta{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	if h, err := os.Hostname(); err == nil {
+		m.Hostname = h
+	}
+	m.Commit = Commit()
+	return m
+}
+
+// Commit best-efforts the VCS revision: the build info stamp when the
+// binary was built with VCS stamping, otherwise a direct git query
+// (the `go run` path); empty when neither is available. A "-dirty"
+// suffix marks uncommitted changes.
+func Commit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	rev := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		rev += "-dirty"
+	}
+	return rev
+}

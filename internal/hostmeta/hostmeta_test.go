@@ -1,0 +1,38 @@
+package hostmeta
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestCollect(t *testing.T) {
+	m := Collect()
+	if m.OS != runtime.GOOS || m.Arch != runtime.GOARCH {
+		t.Errorf("os/arch = %s/%s, want %s/%s", m.OS, m.Arch, runtime.GOOS, runtime.GOARCH)
+	}
+	if m.NumCPU < 1 || m.GOMAXPROCS < 1 {
+		t.Errorf("cpu counts: %+v", m)
+	}
+	if m.GoVersion == "" {
+		t.Error("missing Go version")
+	}
+}
+
+// The JSON field names are part of the artifact schemas: a rename here
+// silently breaks artifact mergers reading files from older hosts.
+func TestJSONFieldNames(t *testing.T) {
+	data, err := json.Marshal(Meta{Hostname: "h", Commit: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"hostname", "os", "arch", "num_cpu", "gomaxprocs", "go_version", "commit"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("missing field %q in %s", key, data)
+		}
+	}
+}

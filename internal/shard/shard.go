@@ -1,0 +1,245 @@
+// Package shard turns a single-process population-protocol sweep into
+// a fan-out/fan-in pipeline: Plan deterministically partitions a sweep
+// (protocol × population sizes × trial blocks) into self-contained
+// shard specs any process on any machine can execute, Run executes one
+// shard on the sim engine and emits a partial-result artifact, and
+// Merge folds any set of partial artifacts back into exactly the
+// Stats/SweepPoints a single-process run would have produced.
+//
+// The exactness contract rests on two invariants:
+//
+//   - Seed derivation is positional, not sequential. A trial's seed is
+//     DeriveSeed(DeriveSeedK(base, x), trial): a pure function of the
+//     sweep's base seed, the population size, and the absolute trial
+//     index — independent of which shard runs it, in what order, or on
+//     which host.
+//   - Statistics are mergeable accumulators. sim.Stats carries exact
+//     integer counts, sums (128-bit for Σsteps²), and extrema, never
+//     precomputed means, so folding partials is associative and
+//     bit-identical to direct aggregation.
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+// ManifestSchema versions the plan format; ArtifactSchema versions the
+// partial-result format. Merge refuses artifacts whose schema it does
+// not understand rather than silently misfolding them.
+const (
+	ManifestSchema = 1
+	ArtifactSchema = 1
+)
+
+// SweepSpec is the full description of a sweep: everything a worker
+// needs to reproduce its slice of the work, with no reference to the
+// planning process. The zero values of MaxSteps and Patience inherit
+// the sim defaults (1<<20 cap, whole-run convergence).
+type SweepSpec struct {
+	// Protocol and Param name a registry construction.
+	Protocol string `json:"protocol"`
+	Param    int64  `json:"param"`
+	// InputState is the state holding the swept agent count.
+	InputState string `json:"input_state"`
+	// Sizes are the population sizes (input counts) swept, in report
+	// order. Duplicates are rejected: a size is the merge key.
+	Sizes []int64 `json:"sizes"`
+	// Trials is the number of runs per size; shards cover sub-ranges of
+	// [0, Trials).
+	Trials int `json:"trials"`
+	// Seed is the sweep's base seed; per-(size, trial) seeds derive
+	// from it positionally.
+	Seed int64 `json:"seed"`
+	// MaxSteps and Patience mirror sim.Options.
+	MaxSteps int `json:"max_steps,omitempty"`
+	Patience int `json:"patience,omitempty"`
+	// Scheduler, Batch and Epsilon mirror the ppsim flags; an empty
+	// scheduler means weighted.
+	Scheduler string  `json:"scheduler,omitempty"`
+	Batch     int     `json:"batch,omitempty"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+}
+
+// Validate checks the spec without instantiating the protocol.
+func (sw *SweepSpec) Validate() error {
+	if _, err := registry.Lookup(sw.Protocol); err != nil {
+		return err
+	}
+	if sw.InputState == "" {
+		return errors.New("shard: empty input state")
+	}
+	if len(sw.Sizes) == 0 {
+		return errors.New("shard: empty size list")
+	}
+	seen := make(map[int64]bool, len(sw.Sizes))
+	for _, x := range sw.Sizes {
+		if x < 0 {
+			return fmt.Errorf("shard: negative size %d", x)
+		}
+		if seen[x] {
+			return fmt.Errorf("shard: duplicate size %d (sizes are merge keys)", x)
+		}
+		seen[x] = true
+	}
+	if sw.Trials <= 0 {
+		return errors.New("shard: trials must be positive")
+	}
+	if sw.MaxSteps < 0 || sw.Patience < 0 || sw.Batch < 0 {
+		return errors.New("shard: negative max_steps/patience/batch")
+	}
+	if _, err := sim.SchedulerByName(sw.Scheduler, sw.Batch, sw.Epsilon); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Build instantiates the protocol and returns it with the counting
+// threshold n it decides (the expected predicate is x ≥ n). Sweeps are
+// defined for counting protocols only: without a threshold there is no
+// per-size expected value to score Correct against.
+func (sw *SweepSpec) Build() (*core.Protocol, int64, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, 0, err
+	}
+	p, n, err := registry.Make(sw.Protocol, sw.Param)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("shard: %s decides no counting predicate; sweeps need a threshold", sw.Protocol)
+	}
+	return p, n, nil
+}
+
+// Options translates the spec into sim.Options. Workers bounds the
+// per-point trial pool (0 = GOMAXPROCS).
+func (sw *SweepSpec) Options(workers int) (sim.Options, error) {
+	sched, err := sim.SchedulerByName(sw.Scheduler, sw.Batch, sw.Epsilon)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	return sim.Options{
+		Seed:           sw.Seed,
+		MaxSteps:       sw.MaxSteps,
+		StablePatience: sw.Patience,
+		Scheduler:      sched,
+		Workers:        workers,
+	}, nil
+}
+
+// Cell is one shard's slice of one population size: the trial range
+// [TrialLo, TrialHi) of size X.
+type Cell struct {
+	X       int64 `json:"x"`
+	TrialLo int   `json:"trial_lo"`
+	TrialHi int   `json:"trial_hi"`
+}
+
+// Spec is one self-contained shard: a set of cells. Together with the
+// manifest's SweepSpec it fully determines the shard's work and seeds.
+type Spec struct {
+	ID    string `json:"id"`
+	Cells []Cell `json:"cells"`
+}
+
+// Trials is the shard's total trial count across cells.
+func (s *Spec) Trials() int {
+	total := 0
+	for _, c := range s.Cells {
+		total += c.TrialHi - c.TrialLo
+	}
+	return total
+}
+
+// Manifest is the plan document: the sweep and its partition.
+type Manifest struct {
+	Schema int       `json:"schema"`
+	Sweep  SweepSpec `json:"sweep"`
+	Shards []Spec    `json:"shards"`
+}
+
+// Shard returns the spec with the given id.
+func (m *Manifest) Shard(id string) (*Spec, error) {
+	for i := range m.Shards {
+		if m.Shards[i].ID == id {
+			return &m.Shards[i], nil
+		}
+	}
+	ids := make([]string, len(m.Shards))
+	for i, s := range m.Shards {
+		ids[i] = s.ID
+	}
+	return nil, fmt.Errorf("shard: no shard %q in manifest (have %v)", id, ids)
+}
+
+// Validate checks the manifest's schema and sweep, and that the shards
+// exactly tile the (size × trial) grid.
+func (m *Manifest) Validate() error {
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("shard: manifest schema %d, this build understands %d", m.Schema, ManifestSchema)
+	}
+	if err := m.Sweep.Validate(); err != nil {
+		return err
+	}
+	covered := make(map[int64][]Cell, len(m.Sweep.Sizes))
+	ids := make(map[string]bool, len(m.Shards))
+	for _, s := range m.Shards {
+		if s.ID == "" || ids[s.ID] {
+			return fmt.Errorf("shard: missing or duplicate shard id %q", s.ID)
+		}
+		ids[s.ID] = true
+		for _, c := range s.Cells {
+			covered[c.X] = append(covered[c.X], c)
+		}
+	}
+	for x, cells := range covered {
+		if err := checkTiling(x, cells, m.Sweep.Trials); err != nil {
+			return err
+		}
+	}
+	for _, x := range m.Sweep.Sizes {
+		if covered[x] == nil {
+			return fmt.Errorf("shard: size %d not covered by any shard", x)
+		}
+	}
+	if len(covered) != len(m.Sweep.Sizes) {
+		return fmt.Errorf("shard: shards cover %d sizes, sweep has %d", len(covered), len(m.Sweep.Sizes))
+	}
+	return nil
+}
+
+// Plan deterministically partitions the sweep into at most shards
+// specs of near-equal trial count. The (size × trial) grid is walked
+// size-major and cut into contiguous runs, so a shard covers a trial
+// block of one size, whole sizes, or a mix — never an interleaving.
+// The same (spec, shards) input always yields the identical manifest.
+func Plan(sw SweepSpec, shards int) (*Manifest, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	if shards <= 0 {
+		return nil, errors.New("shard: shard count must be positive")
+	}
+	cellsTotal := len(sw.Sizes) * sw.Trials
+	if shards > cellsTotal {
+		shards = cellsTotal
+	}
+	m := &Manifest{Schema: ManifestSchema, Sweep: sw, Shards: make([]Spec, 0, shards)}
+	for i := 0; i < shards; i++ {
+		lo := i * cellsTotal / shards
+		hi := (i + 1) * cellsTotal / shards
+		spec := Spec{ID: fmt.Sprintf("s%03d", i)}
+		for si := lo / sw.Trials; si*sw.Trials < hi; si++ {
+			tLo := max(lo, si*sw.Trials) - si*sw.Trials
+			tHi := min(hi, (si+1)*sw.Trials) - si*sw.Trials
+			spec.Cells = append(spec.Cells, Cell{X: sw.Sizes[si], TrialLo: tLo, TrialHi: tHi})
+		}
+		m.Shards = append(m.Shards, spec)
+	}
+	return m, nil
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -11,18 +12,37 @@ import (
 
 // SweepPoint is one population size's aggregated convergence result.
 type SweepPoint struct {
-	X     int64
-	Stats Stats
+	X     int64 `json:"x"`
+	Stats Stats `json:"stats"`
 }
 
-// Sweep runs RunMany for each population size in xs and reports
-// per-size statistics. The expected predicate value for each x is
-// computed by expected. Parallelism is two-level: points fan out to a
-// bounded pool (so sweeps with few trials per point still use every
-// core) and each point's RunMany fans its trials out to workers that
-// reuse one engine State each. Results are ordered like xs and
-// deterministic in opts.Seed regardless of scheduling.
-func Sweep(p *core.Protocol, inputState string, xs []int64, expected func(x int64) bool, trials int, opts Options) ([]SweepPoint, error) {
+// Sweep runs every trial of every population size in xs and reports
+// per-size statistics: SweepRange over the full trial range.
+func Sweep(ctx context.Context, p *core.Protocol, inputState string, xs []int64, expected func(x int64) bool, trials int, opts Options) ([]SweepPoint, error) {
+	if trials <= 0 {
+		return nil, errors.New("sim: trials must be positive")
+	}
+	return SweepRange(ctx, p, inputState, xs, expected, 0, trials, opts)
+}
+
+// SweepRange runs the trial range [trialLo, trialHi) of each population
+// size in xs and reports per-size partial statistics. The expected
+// predicate value for each x is computed by expected. Each size's base
+// seed is derived from (opts.Seed, x) alone — independent of which
+// sizes and trial ranges this call covers — so a sweep sharded across
+// processes by size and/or trial block produces partial SweepPoints
+// that merge into exactly the single-process Sweep result.
+//
+// Parallelism is two-level: points fan out to a bounded pool (so sweeps
+// with few trials per point still use every core) and each point's
+// RunRange fans its trials out to workers that reuse one engine State
+// each. Results are ordered like xs and deterministic in opts.Seed
+// regardless of scheduling. Cancelling ctx stops all workers promptly
+// and returns ctx.Err().
+func SweepRange(ctx context.Context, p *core.Protocol, inputState string, xs []int64, expected func(x int64) bool, trialLo, trialHi int, opts Options) ([]SweepPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(xs) == 0 {
 		return nil, errors.New("sim: empty sweep")
 	}
@@ -42,6 +62,7 @@ func Sweep(p *core.Protocol, inputState string, xs []int64, expected func(x int6
 			inner.Workers = 1
 		}
 	}
+	done := ctx.Done()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -59,7 +80,7 @@ func Sweep(p *core.Protocol, inputState string, xs []int64, expected func(x int6
 				// Give each size its own hashed base seed: deterministic,
 				// and uncorrelated across nearby seeds and sizes.
 				o.Seed = DeriveSeedK(opts.Seed, x)
-				stats, err := RunMany(p, input, expected(x), trials, o)
+				stats, err := RunRange(ctx, p, input, expected(x), trialLo, trialHi, o)
 				if err != nil {
 					errs[idx] = err
 					continue
@@ -68,11 +89,19 @@ func Sweep(p *core.Protocol, inputState string, xs []int64, expected func(x int6
 			}
 		}()
 	}
+feed:
 	for idx := range xs {
-		jobs <- idx
+		select {
+		case jobs <- idx:
+		case <-done:
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for idx, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("sweep x=%d: %w", xs[idx], err)

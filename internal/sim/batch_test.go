@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"repro/internal/counting"
@@ -12,7 +14,7 @@ func TestSweep(t *testing.T) {
 		t.Fatalf("FlockOfBirds: %v", err)
 	}
 	xs := []int64{2, 4, 8, 16}
-	points, err := Sweep(p, "i", xs, func(x int64) bool { return x >= 4 }, 5,
+	points, err := Sweep(context.Background(), p, "i", xs, func(x int64) bool { return x >= 4 }, 5,
 		Options{Seed: 1, MaxSteps: 200_000, StablePatience: 1_000})
 	if err != nil {
 		t.Fatalf("Sweep: %v", err)
@@ -37,7 +39,7 @@ func TestSweepDeterministic(t *testing.T) {
 		t.Fatalf("FlockOfBirds: %v", err)
 	}
 	run := func() []SweepPoint {
-		pts, err := Sweep(p, "i", []int64{3, 6}, func(x int64) bool { return x >= 3 }, 3,
+		pts, err := Sweep(context.Background(), p, "i", []int64{3, 6}, func(x int64) bool { return x >= 3 }, 3,
 			Options{Seed: 9, MaxSteps: 100_000, StablePatience: 500})
 		if err != nil {
 			t.Fatalf("Sweep: %v", err)
@@ -45,10 +47,66 @@ func TestSweepDeterministic(t *testing.T) {
 		return pts
 	}
 	a, b := run(), run()
-	for i := range a {
-		if a[i].Stats.MeanSteps != b[i].Stats.MeanSteps {
-			t.Error("sweep not deterministic across runs")
+	if !reflect.DeepEqual(a, b) {
+		t.Error("sweep not deterministic across runs")
+	}
+}
+
+// SweepRange over trial blocks must emit partial points that merge —
+// per size, in trial order — into exactly the full Sweep result, and
+// the per-size seed derivation must not depend on which sizes a call
+// covers.
+func TestSweepRangeMergesToSweep(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	xs := []int64{3, 4, 9}
+	expected := func(x int64) bool { return x >= 4 }
+	opts := Options{Seed: 5, MaxSteps: 200_000, StablePatience: 1_000}
+	const trials = 6
+	whole, err := Sweep(context.Background(), p, "i", xs, expected, trials, opts)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	// Split by trial block.
+	lo, err := SweepRange(context.Background(), p, "i", xs, expected, 0, 2, opts)
+	if err != nil {
+		t.Fatalf("SweepRange[0,2): %v", err)
+	}
+	hi, err := SweepRange(context.Background(), p, "i", xs, expected, 2, trials, opts)
+	if err != nil {
+		t.Fatalf("SweepRange[2,6): %v", err)
+	}
+	for i := range xs {
+		merged := lo[i].Stats
+		merged.Merge(hi[i].Stats)
+		if merged != whole[i].Stats {
+			t.Errorf("x=%d: merged %+v != whole %+v", xs[i], merged, whole[i].Stats)
 		}
+	}
+	// Split by size: a call covering one size must reproduce that size's
+	// point exactly.
+	for i, x := range xs {
+		solo, err := SweepRange(context.Background(), p, "i", []int64{x}, expected, 0, trials, opts)
+		if err != nil {
+			t.Fatalf("SweepRange x=%d: %v", x, err)
+		}
+		if solo[0] != whole[i] {
+			t.Errorf("x=%d: solo %+v != whole %+v", x, solo[0], whole[i])
+		}
+	}
+}
+
+func TestSweepCancelled(t *testing.T) {
+	p, err := counting.FlockOfBirds(3)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Sweep(ctx, p, "i", []int64{3, 6}, func(int64) bool { return true }, 3, Options{}); err != context.Canceled {
+		t.Errorf("pre-cancelled Sweep err = %v, want context.Canceled", err)
 	}
 }
 
@@ -57,7 +115,7 @@ func TestSweepEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatalf("FlockOfBirds: %v", err)
 	}
-	if _, err := Sweep(p, "i", nil, func(int64) bool { return true }, 1, Options{}); err == nil {
+	if _, err := Sweep(context.Background(), p, "i", nil, func(int64) bool { return true }, 1, Options{}); err == nil {
 		t.Error("empty sweep accepted")
 	}
 }
@@ -67,7 +125,7 @@ func TestSweepBadInputState(t *testing.T) {
 	if err != nil {
 		t.Fatalf("FlockOfBirds: %v", err)
 	}
-	if _, err := Sweep(p, "nope", []int64{1}, func(int64) bool { return true }, 1, Options{}); err == nil {
+	if _, err := Sweep(context.Background(), p, "nope", []int64{1}, func(int64) bool { return true }, 1, Options{}); err == nil {
 		t.Error("bad input state accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestCountBatchedMatchesWeightedStats(t *testing.T) {
 			t.Fatalf("%s: %v", c.name, err)
 		}
 		runWith := func(sched Scheduler) *Stats {
-			stats, err := RunMany(p, input, c.want, 20, Options{
+			stats, err := RunMany(context.Background(), p, input, c.want, 20, Options{
 				Seed: 77, MaxSteps: 400_000, StablePatience: 2_000, Scheduler: sched,
 			})
 			if err != nil {
@@ -47,9 +48,9 @@ func TestCountBatchedMatchesWeightedStats(t *testing.T) {
 			return stats
 		}
 		w, cb := runWith(Weighted{}), runWith(CountBatched{})
-		if ratio := cb.MeanLastChange / w.MeanLastChange; ratio < 0.5 || ratio > 2 {
+		if ratio := cb.MeanLastChange() / w.MeanLastChange(); ratio < 0.5 || ratio > 2 {
 			t.Errorf("%s: MeanLastChange countbatch %.0f vs weighted %.0f (ratio %.2f)",
-				c.name, cb.MeanLastChange, w.MeanLastChange, ratio)
+				c.name, cb.MeanLastChange(), w.MeanLastChange(), ratio)
 		}
 	}
 }
@@ -68,7 +69,7 @@ func TestCountBatchedMatchesWeightedLargeFlock(t *testing.T) {
 		t.Fatalf("input: %v", err)
 	}
 	runWith := func(sched Scheduler) *Stats {
-		stats, err := RunMany(p, input, true, 5, Options{
+		stats, err := RunMany(context.Background(), p, input, true, 5, Options{
 			Seed: 5, MaxSteps: 1 << 22, Scheduler: sched,
 		})
 		if err != nil {
@@ -80,9 +81,9 @@ func TestCountBatchedMatchesWeightedLargeFlock(t *testing.T) {
 		return stats
 	}
 	w, cb := runWith(Weighted{}), runWith(CountBatched{})
-	if ratio := cb.MeanSteps / w.MeanSteps; math.Abs(ratio-1) > 0.1 {
+	if ratio := cb.MeanSteps() / w.MeanSteps(); math.Abs(ratio-1) > 0.1 {
 		t.Errorf("MeanSteps countbatch %.0f vs weighted %.0f (ratio %.3f, want within 10%%)",
-			cb.MeanSteps, w.MeanSteps, ratio)
+			cb.MeanSteps(), w.MeanSteps(), ratio)
 	}
 }
 

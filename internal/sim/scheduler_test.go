@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/counting"
@@ -31,7 +32,7 @@ func TestSchedulersConsistentFlock(t *testing.T) {
 			t.Fatalf("input: %v", err)
 		}
 		for _, sched := range schedulers() {
-			stats, err := RunMany(p, input, tc.want, 20, Options{
+			stats, err := RunMany(context.Background(), p, input, tc.want, 20, Options{
 				Seed: 7, MaxSteps: 500_000, StablePatience: 2_000, Scheduler: sched,
 			})
 			if err != nil {
@@ -62,7 +63,7 @@ func TestSchedulersConsistentMajority(t *testing.T) {
 			t.Fatalf("input: %v", err)
 		}
 		for _, sched := range schedulers() {
-			stats, err := RunMany(p, input, tc.want, 20, Options{
+			stats, err := RunMany(context.Background(), p, input, tc.want, 20, Options{
 				Seed: 31, MaxSteps: 500_000, StablePatience: 3_000, Scheduler: sched,
 			})
 			if err != nil {
@@ -94,7 +95,7 @@ func TestUniformRejectsWideProtocol(t *testing.T) {
 	if _, err := Run(p, input, Options{Scheduler: UniformPairs{}}); err == nil {
 		t.Error("Run accepted uniform scheduler on a width-3 protocol")
 	}
-	if _, err := RunMany(p, input, true, 2, Options{Scheduler: UniformPairs{}}); err == nil {
+	if _, err := RunMany(context.Background(), p, input, true, 2, Options{Scheduler: UniformPairs{}}); err == nil {
 		t.Error("RunMany accepted uniform scheduler on a width-3 protocol")
 	}
 	// Batched delegates validation to its inner scheduler.

@@ -12,7 +12,10 @@
 package sim
 
 import (
+	"context"
 	"errors"
+	"math"
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -95,18 +98,27 @@ func Run(p *core.Protocol, input conf.Config, opts Options) (*Result, error) {
 	if err := st.Reset(input); err != nil {
 		return nil, err
 	}
-	return runLoop(st, stepper, NewRNG(opts.Seed), opts), nil
+	return runLoop(nil, st, stepper, NewRNG(opts.Seed), opts), nil
 }
 
+// cancelCheckEvery is how many interactions a run executes between
+// polls of the cancellation channel: rare enough that the poll is free
+// on the per-interaction path, frequent enough that cancellation lands
+// within microseconds.
+const cancelCheckEvery = 8192
+
 // runLoop drives one run on an already-reset state. It is the shared
-// core of Run and RunMany's workers.
-func runLoop(st *State, stepper Stepper, rng *RNG, opts Options) *Result {
+// core of Run and RunRange's workers. A nil done channel disables
+// cancellation; when done fires mid-run, runLoop returns nil and the
+// partial trajectory is discarded.
+func runLoop(done <-chan struct{}, st *State, stepper Stepper, rng *RNG, opts Options) *Result {
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = defaultMaxSteps
 	}
 	res := &Result{Output: st.Output()}
 	sinceChange := 0
+	sinceCancel := 0
 	steps := 0
 	for steps < maxSteps {
 		n, ok := stepper.Step(rng, maxSteps-steps)
@@ -116,6 +128,17 @@ func runLoop(st *State, stepper Stepper, rng *RNG, opts Options) *Result {
 		}
 		steps += n
 		res.Steps = steps
+		if done != nil {
+			sinceCancel += n
+			if sinceCancel >= cancelCheckEvery {
+				sinceCancel = 0
+				select {
+				case <-done:
+					return nil
+				default:
+				}
+			}
+		}
 		out := st.Output()
 		if out != res.Output {
 			res.Output = out
@@ -177,16 +200,121 @@ func binom(n, k int64) float64 {
 	return out
 }
 
-// Stats aggregates repeated runs.
+// Stats aggregates repeated runs. All fields are mergeable
+// accumulators — exact integer counts, sums, and extrema rather than
+// precomputed means — so partial statistics from disjoint trial ranges
+// (sharded sweeps, multiple hosts) fold into exactly the value a
+// single-process run over the union would have produced: Merge is
+// associative and commutative, bit for bit. Derived quantities (means,
+// variance, confidence intervals) are methods computed on demand.
 type Stats struct {
-	Trials    int
-	Converged int
-	Correct   int
-	MeanSteps float64
-	MaxSteps  int
-	// MeanLastChange is the mean step of the last output change among
-	// converged runs: the empirical "time to stable consensus".
-	MeanLastChange float64
+	Trials    int `json:"trials"`
+	Converged int `json:"converged"`
+	Correct   int `json:"correct"`
+	// SumSteps is Σ Steps over all trials. int64 is exact for any
+	// realistic sweep (2^31 steps × 2^32 trials stays in range).
+	SumSteps int64 `json:"sum_steps"`
+	// SumStepsSqHi/Lo form the 128-bit Σ Steps² (hi·2⁶⁴ + lo), kept
+	// exact so merged variance is independent of shard boundaries; a
+	// float64 accumulator would make merges order-sensitive past 2⁵³.
+	SumStepsSqHi uint64 `json:"sum_steps_sq_hi"`
+	SumStepsSqLo uint64 `json:"sum_steps_sq_lo"`
+	// MinSteps/MaxSteps are extrema over all trials; MinSteps is
+	// meaningful only when Trials > 0.
+	MinSteps int `json:"min_steps"`
+	MaxSteps int `json:"max_steps"`
+	// SumLastChange is Σ LastChange over converged trials only: the
+	// numerator of the empirical "time to stable consensus".
+	SumLastChange int64 `json:"sum_last_change"`
+}
+
+// Observe folds one run into the accumulators. correct is whether the
+// run's consensus matched the expected predicate value.
+func (s *Stats) Observe(res *Result, expected bool) {
+	steps := res.Steps
+	if s.Trials == 0 || steps < s.MinSteps {
+		s.MinSteps = steps
+	}
+	if steps > s.MaxSteps {
+		s.MaxSteps = steps
+	}
+	s.Trials++
+	s.SumSteps += int64(steps)
+	hi, lo := bits.Mul64(uint64(steps), uint64(steps))
+	var carry uint64
+	s.SumStepsSqLo, carry = bits.Add64(s.SumStepsSqLo, lo, 0)
+	s.SumStepsSqHi += hi + carry
+	if res.Converged {
+		s.Converged++
+		s.SumLastChange += int64(res.LastChange)
+		if v, ok := res.ConsensusBool(); ok && v == expected {
+			s.Correct++
+		}
+	}
+}
+
+// Merge folds another partial aggregate into s. Merging the per-range
+// aggregates of any partition of a trial set, in any order, yields the
+// same Stats as observing every trial directly.
+func (s *Stats) Merge(o Stats) {
+	if o.Trials == 0 {
+		return
+	}
+	if s.Trials == 0 || o.MinSteps < s.MinSteps {
+		s.MinSteps = o.MinSteps
+	}
+	if o.MaxSteps > s.MaxSteps {
+		s.MaxSteps = o.MaxSteps
+	}
+	s.Trials += o.Trials
+	s.Converged += o.Converged
+	s.Correct += o.Correct
+	s.SumSteps += o.SumSteps
+	var carry uint64
+	s.SumStepsSqLo, carry = bits.Add64(s.SumStepsSqLo, o.SumStepsSqLo, 0)
+	s.SumStepsSqHi += o.SumStepsSqHi + carry
+	s.SumLastChange += o.SumLastChange
+}
+
+// MeanSteps is the mean interaction count per trial.
+func (s *Stats) MeanSteps() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.SumSteps) / float64(s.Trials)
+}
+
+// MeanLastChange is the mean step of the last output change among
+// converged runs: the empirical "time to stable consensus".
+func (s *Stats) MeanLastChange() float64 {
+	if s.Converged == 0 {
+		return 0
+	}
+	return float64(s.SumLastChange) / float64(s.Converged)
+}
+
+// VarianceSteps is the sample variance of the per-trial step counts.
+func (s *Stats) VarianceSteps() float64 {
+	if s.Trials < 2 {
+		return 0
+	}
+	n := float64(s.Trials)
+	sumSq := float64(s.SumStepsSqHi)*0x1p64 + float64(s.SumStepsSqLo)
+	mean := float64(s.SumSteps) / n
+	v := (sumSq - n*mean*mean) / (n - 1)
+	if v < 0 { // float cancellation on near-constant samples
+		v = 0
+	}
+	return v
+}
+
+// HalfCI95Steps is the half-width of the normal-approximation 95%
+// confidence interval for MeanSteps.
+func (s *Stats) HalfCI95Steps() float64 {
+	if s.Trials < 2 {
+		return 0
+	}
+	return 1.96 * math.Sqrt(s.VarianceSteps()/float64(s.Trials))
 }
 
 // DeriveSeed hashes (base seed, trial index) through the splitmix64
@@ -211,17 +339,37 @@ func DeriveSeedK(base, k int64) int64 {
 
 // RunMany executes trials runs with derived seeds and aggregates
 // statistics, comparing each consensus with the expected predicate
-// value. Trials run concurrently on a bounded worker pool; each worker
-// reuses one engine State across its trials, and results are
-// aggregated in trial order, so the statistics are deterministic in
-// (Seed, trials) regardless of scheduling.
-func RunMany(p *core.Protocol, input conf.Config, expected bool, trials int, opts Options) (*Stats, error) {
+// value. It is RunRange over the full trial range [0, trials).
+func RunMany(ctx context.Context, p *core.Protocol, input conf.Config, expected bool, trials int, opts Options) (*Stats, error) {
 	if trials <= 0 {
 		return nil, errors.New("sim: trials must be positive")
+	}
+	return RunRange(ctx, p, input, expected, 0, trials, opts)
+}
+
+// RunRange executes the trials with absolute indices [trialLo, trialHi)
+// and aggregates statistics, comparing each consensus with the expected
+// predicate value. Per-trial seeds are derived from (opts.Seed, trial
+// index), so a range's trials are bit-identical to the same trials of a
+// full [0, n) run with the same base seed: disjoint ranges can run in
+// different processes and their Stats Merge into exactly the
+// single-process aggregate. Trials run concurrently on a bounded worker
+// pool; each worker reuses one engine State across its trials, and
+// results are aggregated in trial order, so the statistics are
+// deterministic in (Seed, range) regardless of scheduling. Cancelling
+// ctx stops the workers promptly — mid-run, not merely between trials —
+// and returns ctx.Err().
+func RunRange(ctx context.Context, p *core.Protocol, input conf.Config, expected bool, trialLo, trialHi int, opts Options) (*Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if trialLo < 0 || trialHi <= trialLo {
+		return nil, errors.New("sim: need 0 <= trialLo < trialHi")
 	}
 	if !input.Space().Equal(p.Space()) {
 		return nil, errors.New("sim: input over wrong space")
 	}
+	trials := trialHi - trialLo
 	sched := opts.scheduler()
 	// Attach the first worker's engine up front: it both validates the
 	// scheduler/protocol pairing (so every caller gets the same
@@ -238,6 +386,7 @@ func RunMany(p *core.Protocol, input conf.Config, expected bool, trials int, opt
 	if workers > trials {
 		workers = trials
 	}
+	done := ctx.Done()
 	initial := p.InitialConfig(input)
 	results := make([]*Result, trials)
 	jobs := make(chan int)
@@ -259,34 +408,31 @@ func RunMany(p *core.Protocol, input conf.Config, expected bool, trials int, opt
 			for tr := range jobs {
 				st.resetFrom(initial)
 				rng.Seed(DeriveSeed(opts.Seed, tr))
-				results[tr] = runLoop(st, stepper, rng, opts)
+				res := runLoop(done, st, stepper, rng, opts)
+				if res == nil { // cancelled mid-run
+					return
+				}
+				results[tr-trialLo] = res
 			}
 		}(st, stepper)
 	}
-	for tr := 0; tr < trials; tr++ {
-		jobs <- tr
+feed:
+	for tr := trialLo; tr < trialHi; tr++ {
+		select {
+		case jobs <- tr:
+		case <-done:
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
-
-	stats := &Stats{Trials: trials}
-	var sumSteps, sumChange float64
-	for _, res := range results {
-		sumSteps += float64(res.Steps)
-		if res.Steps > stats.MaxSteps {
-			stats.MaxSteps = res.Steps
-		}
-		if res.Converged {
-			stats.Converged++
-			sumChange += float64(res.LastChange)
-			if v, ok := res.ConsensusBool(); ok && v == expected {
-				stats.Correct++
-			}
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	stats.MeanSteps = sumSteps / float64(trials)
-	if stats.Converged > 0 {
-		stats.MeanLastChange = sumChange / float64(stats.Converged)
+
+	stats := &Stats{}
+	for _, res := range results {
+		stats.Observe(res, expected)
 	}
 	return stats, nil
 }
