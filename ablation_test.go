@@ -100,6 +100,99 @@ func BenchmarkAblationClosureAgentCapped(b *testing.B) {
 	}
 }
 
+// Ablation: closure-substrate dedup — the seed-era string-keyed map
+// (conf.Config.Key materialized per lookup, one Config allocation per
+// attempted fire, per-node Clone semantics) against the arena-backed
+// CountSet (flat int64 arena, open-addressing table over integer
+// hashes, fire-into-scratch). Quantifies the dedup choice of the
+// closure engine the same way the backward-vs-forward ablation above
+// quantifies the coverability choice. Both run the identical BFS on
+// the same instance. (The node/edge-level equivalence of the two
+// substrates is pinned separately by the property tests in
+// internal/petri/reach_ref_test.go, against their own copy of the
+// seed-era loop; this file's copy only times it and checks sizes.)
+
+// stringMapClosure is the seed-era closure loop, kept verbatim-shaped.
+func stringMapClosure(net *petri.Net, from conf.Config, maxConfigs int) (int, error) {
+	configs := []conf.Config{from}
+	index := map[string]int{from.Key(): 0}
+	for head := 0; head < len(configs); head++ {
+		cur := configs[head]
+		for ti := 0; ti < net.Len(); ti++ {
+			next, ok := net.At(ti).Fire(cur)
+			if !ok {
+				continue
+			}
+			if _, seen := index[next.Key()]; !seen {
+				if len(configs) >= maxConfigs {
+					return len(configs), petri.ErrBudget
+				}
+				index[next.Key()] = len(configs)
+				configs = append(configs, next)
+			}
+		}
+	}
+	return len(configs), nil
+}
+
+func closureSubstrateInstance(b *testing.B) (*petri.Net, conf.Config) {
+	b.Helper()
+	p, err := counting.FlockOfBirds(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p.Net(), p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 9}))
+}
+
+func BenchmarkAblationClosureStringMap(b *testing.B) {
+	net, from := closureSubstrateInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := stringMapClosure(net, from, 1<<18)
+		if err != nil || n == 0 {
+			b.Fatalf("closure %d, %v", n, err)
+		}
+	}
+}
+
+func BenchmarkAblationClosureArenaHash(b *testing.B) {
+	net, from := closureSubstrateInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := net.Reach(from, petri.Budget{MaxConfigs: 1 << 18})
+		if err != nil || rs.Len() == 0 {
+			b.Fatalf("closure %d, %v", rs.Len(), err)
+		}
+	}
+}
+
+// The two substrates must agree on closure size — tested, not just
+// timed (the full node/edge equivalence is property-tested in
+// internal/petri).
+func TestClosureSubstratesAgree(t *testing.T) {
+	p, err := counting.FlockOfBirds(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := p.Net()
+	for _, x := range []int64{3, 5, 7, 9} {
+		from := p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": x}))
+		want, err := stringMapClosure(net, from, 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := net.Reach(from, petri.Budget{MaxConfigs: 1 << 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Len() != want {
+			t.Errorf("x=%d: arena closure %d nodes, string-map %d", x, rs.Len(), want)
+		}
+	}
+}
+
 // The three coverability deciders must agree — tested, not just timed.
 func TestCoverabilityDecidersAgree(t *testing.T) {
 	p, err := counting.FlockOfBirds(4)

@@ -107,6 +107,74 @@ func BenchmarkReachClosure(b *testing.B) {
 	}
 }
 
+// BenchmarkReachBottomPR2Budget pins the PR2-era E8 workload — the
+// three original instances at the original MaxConfigs = 1<<16 budget —
+// so the closure-substrate speedup stays measurable at equal work even
+// though E8 itself now runs a 4× budget and one more instance.
+func BenchmarkReachBottomPR2Budget(b *testing.B) {
+	type tc struct {
+		net *petri.Net
+		rho conf.Config
+	}
+	var cases []tc
+	{
+		p, err := counting.Example42(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases = append(cases, tc{p.Net(), p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 3}))})
+	}
+	{
+		space := conf.MustSpace("a", "b")
+		u := func(n string) conf.Config { return conf.MustUnit(space, n) }
+		pump, err := petri.NewTransition("pump", u("a"), u("a").Add(u("b")))
+		if err != nil {
+			b.Fatal(err)
+		}
+		net, err := petri.New(space, []petri.Transition{pump})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases = append(cases, tc{net, u("a")})
+	}
+	{
+		p, err := counting.FlockOfBirds(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases = append(cases, tc{p.Net(), p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 4}))})
+	}
+	opts := core.ReachBottomOptions{Budget: petri.Budget{MaxConfigs: 1 << 16}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cases {
+			if _, err := core.ReachBottom(c.net, c.rho, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkVerifyRange measures the exhaustive range verifier — the E4
+// workload shape — on Example 4.2 with populations up to 8: every
+// input's closure, two CSR reachability passes each, fanned out to the
+// worker pool.
+func BenchmarkVerifyRange(b *testing.B) {
+	p, err := counting.Example42(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Counting(p, "i", 3, 8, petri.Budget{MaxConfigs: 1 << 18})
+		if err != nil || !res.OK() {
+			b.Fatalf("result %+v, %v", res, err)
+		}
+	}
+}
+
 // BenchmarkBackwardCoverability measures the backward algorithm on the
 // flock net.
 func BenchmarkBackwardCoverability(b *testing.B) {

@@ -1,6 +1,7 @@
 package bounds
 
 import (
+	"fmt"
 	"math"
 	"math/big"
 	"testing"
@@ -317,5 +318,45 @@ func TestDigits(t *testing.T) {
 	}
 	if FromInt(0).Digits() != 1 {
 		t.Errorf("Digits(0) = %v", FromInt(0).Digits())
+	}
+}
+
+// refShortBig is the slicing-based reference shortBig replaced by the
+// division-based fast path: the two must render identically.
+func refShortBig(n *big.Int) string {
+	s := n.String()
+	if len(s) <= 24 {
+		return s
+	}
+	return s[:10] + "..." + s[len(s)-6:] + fmt.Sprintf(" (%d digits)", len(s))
+}
+
+func TestShortBigMatchesReference(t *testing.T) {
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(123456789),
+		new(big.Int).Exp(big.NewInt(10), big.NewInt(24), nil), // 25 digits
+		new(big.Int).Exp(big.NewInt(10), big.NewInt(38), nil),
+		new(big.Int).Exp(big.NewInt(10), big.NewInt(39), nil),
+		new(big.Int).Sub(new(big.Int).Exp(big.NewInt(10), big.NewInt(60), nil), big.NewInt(1)),
+		new(big.Int).Exp(big.NewInt(10), big.NewInt(1000), nil),  // power of ten: log10 edge
+		new(big.Int).Exp(big.NewInt(12), big.NewInt(65536), nil), // the E2 d=2 bound
+		new(big.Int).Exp(big.NewInt(7), big.NewInt(12345), nil),
+	}
+	for _, n := range cases {
+		if got, want := shortBig(n), refShortBig(n); got != want {
+			t.Errorf("shortBig(%s digits=%d):\n got  %s\n want %s",
+				n.String()[:10], len(n.String()), got, want)
+		}
+	}
+	// Randomized cross-check across the digit-count boundary region.
+	rnd := big.NewInt(0xDEADBEEF)
+	x := big.NewInt(3)
+	for i := 0; i < 200; i++ {
+		x = new(big.Int).Mul(x, big.NewInt(999999937))
+		x.Add(x, rnd)
+		if got, want := shortBig(x), refShortBig(x); got != want {
+			t.Fatalf("random case %d: got %s want %s", i, got, want)
+		}
 	}
 }

@@ -52,6 +52,16 @@ func FromLog10(l float64) Magnitude {
 	return Magnitude{log10: l}
 }
 
+// fromBigOwned is FromBig for freshly computed values whose ownership
+// the caller cedes: it skips the defensive copy, which matters for the
+// ~10⁵-digit exact bounds.
+func fromBigOwned(n *big.Int) Magnitude {
+	if n.Sign() < 0 {
+		panic("bounds: negative magnitude")
+	}
+	return Magnitude{log10: bigLog10(n), exact: n}
+}
+
 // Log10 returns log10 of the value (−Inf for zero).
 func (m Magnitude) Log10() float64 { return m.log10 }
 
@@ -120,7 +130,7 @@ func Pow(base int64, exp *big.Int) Magnitude {
 	}
 	logResult := float64FromBig(exp) * math.Log10(float64(base))
 	if logResult <= MaxExactDigits && exp.IsInt64() {
-		return FromBig(new(big.Int).Exp(big.NewInt(base), exp, nil))
+		return fromBigOwned(new(big.Int).Exp(big.NewInt(base), exp, nil))
 	}
 	return FromLog10(logResult)
 }
@@ -184,10 +194,43 @@ func float64FromBig(n *big.Int) float64 {
 	return f
 }
 
+// shortBig renders a non-negative big.Int as its full decimal form when
+// short, else as "<first 10>...<last 6> (<digits> digits)".
+//
+// Large values never run big.Int.String: the full decimal conversion of
+// a ~10⁵-digit Theorem 4.3 bound dominated E2's cost. Instead the head
+// is the quotient by 10^(digits−10) (one division whose quotient is
+// tiny), the tail is one small modulus, and the digit count is taken
+// from the float log10 estimate and corrected exactly by the head's
+// range — so the rendering is identical to slicing the full string.
 func shortBig(n *big.Int) string {
-	s := n.String()
-	if len(s) <= 24 {
-		return s
+	if n.BitLen() <= 128 { // ≤ 39 digits: full conversion is cheap
+		s := n.String()
+		if len(s) <= 24 {
+			return s
+		}
+		return s[:10] + "..." + s[len(s)-6:] + fmt.Sprintf(" (%d digits)", len(s))
 	}
-	return s[:10] + "..." + s[len(s)-6:] + fmt.Sprintf(" (%d digits)", len(s))
+	digits := int(math.Floor(bigLog10(n))) + 1
+	pow := new(big.Int).Exp(big.NewInt(10), big.NewInt(int64(digits-10)), nil)
+	head := new(big.Int).Quo(n, pow)
+	// The estimate can be off by one near powers of ten; the head's
+	// range pins the exact digit count.
+	switch {
+	case head.Cmp(tenPow9) < 0: // digits overestimated
+		digits--
+		pow.Quo(pow, big.NewInt(10))
+		head.Quo(n, pow)
+	case head.Cmp(tenPow10) >= 0: // digits underestimated
+		digits++
+		head.Quo(head, big.NewInt(10))
+	}
+	tail := new(big.Int).Mod(n, tenPow6)
+	return fmt.Sprintf("%d...%06d (%d digits)", head.Int64(), tail.Int64(), digits)
 }
+
+var (
+	tenPow6  = big.NewInt(1_000_000)
+	tenPow9  = big.NewInt(1_000_000_000)
+	tenPow10 = big.NewInt(10_000_000_000)
+)

@@ -87,6 +87,18 @@ func MustUnit(space *Space, name string) Config {
 	return c
 }
 
+// View wraps a count slice as a Config without copying: the Config
+// aliases counts. It is the zero-copy complement of FromSlice for
+// arena-backed closure engines handing out node views; the caller must
+// keep the slice unmutated and every count non-negative. The slice
+// length must equal the space size.
+func View(space *Space, counts []int64) Config {
+	if len(counts) != space.Len() {
+		panic(fmt.Sprintf("conf: %d counts viewed over space %v", len(counts), space))
+	}
+	return Config{space: space, v: counts}
+}
+
 // Space returns the space the configuration is over.
 func (c Config) Space() *Space { return c.space }
 
@@ -314,6 +326,22 @@ func (c Config) Restrict(q *Space) Config {
 		}
 	}
 	return out
+}
+
+// RestrictInto writes the counts of ρ|q into dst, using an index map
+// previously computed with c.Space().IndexMap(q): dst[i] receives the
+// count of q's i-th state, or zero when that state is not in ρ's
+// space. It is the scratch-buffer form of Restrict for hot loops that
+// restrict many configurations to the same sub-space; dst must have
+// the target space's length.
+func (c Config) RestrictInto(dst []int64, idxMap []int) {
+	for i, j := range idxMap {
+		if j >= 0 {
+			dst[i] = c.v[j]
+		} else {
+			dst[i] = 0
+		}
+	}
 }
 
 // Embed returns the configuration over the target space p that agrees

@@ -1,0 +1,141 @@
+package conf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCountSetBasic(t *testing.T) {
+	s := NewCountSet(3, 0)
+	if s.Len() != 0 {
+		t.Fatalf("empty set Len = %d", s.Len())
+	}
+	a := []int64{1, 2, 3}
+	id, added := s.Insert(a)
+	if id != 0 || !added {
+		t.Fatalf("first Insert = (%d, %v)", id, added)
+	}
+	// Mutating the caller's slice must not affect the stored copy.
+	a[0] = 99
+	if got := s.At(0); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("At(0) = %v, want [1 2 3]", got)
+	}
+	if id, added := s.Insert([]int64{1, 2, 3}); id != 0 || added {
+		t.Fatalf("duplicate Insert = (%d, %v)", id, added)
+	}
+	if id, added := s.Insert([]int64{3, 2, 1}); id != 1 || !added {
+		t.Fatalf("second Insert = (%d, %v)", id, added)
+	}
+	if id, ok := s.Lookup([]int64{3, 2, 1}); !ok || id != 1 {
+		t.Fatalf("Lookup = (%d, %v)", id, ok)
+	}
+	if _, ok := s.Lookup([]int64{0, 0, 0}); ok {
+		t.Fatal("Lookup found absent vector")
+	}
+}
+
+func TestCountSetGrowthAndIDStability(t *testing.T) {
+	const n = 5000
+	s := NewCountSet(2, 0) // minimal table: force many growths
+	for i := 0; i < n; i++ {
+		id, added := s.Insert([]int64{int64(i), int64(i % 7)})
+		if id != i || !added {
+			t.Fatalf("Insert %d = (%d, %v)", i, id, added)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := s.At(i); got[0] != int64(i) || got[1] != int64(i%7) {
+			t.Fatalf("At(%d) = %v", i, got)
+		}
+		if id, ok := s.Lookup([]int64{int64(i), int64(i % 7)}); !ok || id != i {
+			t.Fatalf("Lookup %d = (%d, %v)", i, id, ok)
+		}
+	}
+}
+
+// The set must agree with a map-based reference under random
+// insert/lookup traffic, including vectors with equal hashes prefixes
+// and negative-looking large values (ω markings use MaxInt64).
+func TestCountSetMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := NewCountSet(4, 0)
+	ref := make(map[[4]int64]int)
+	for i := 0; i < 20000; i++ {
+		var k [4]int64
+		for j := range k {
+			k[j] = int64(rng.Intn(6))
+			if rng.Intn(100) == 0 {
+				k[j] = int64(^uint64(0) >> 1) // MaxInt64, ω-style
+			}
+		}
+		id, added := s.Insert(k[:])
+		refID, seen := ref[k]
+		if added == seen {
+			t.Fatalf("step %d: added=%v but seen=%v for %v", i, added, seen, k)
+		}
+		if seen && id != refID {
+			t.Fatalf("step %d: id=%d, want %d", i, id, refID)
+		}
+		if !seen {
+			ref[k] = id
+		}
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("Len = %d, reference %d", s.Len(), len(ref))
+	}
+}
+
+func TestCountSetZeroWidth(t *testing.T) {
+	s := NewCountSet(0, 0)
+	id, added := s.Insert(nil)
+	if id != 0 || !added {
+		t.Fatalf("first zero-width Insert = (%d, %v)", id, added)
+	}
+	if id, added := s.Insert([]int64{}); id != 0 || added {
+		t.Fatalf("second zero-width Insert = (%d, %v)", id, added)
+	}
+	if got := s.At(0); len(got) != 0 {
+		t.Fatalf("At(0) length = %d", len(got))
+	}
+}
+
+func TestHashCountsDistinguishes(t *testing.T) {
+	// Not a cryptographic requirement — but the pairs the old string
+	// keys distinguished must not collide trivially.
+	pairs := [][2][]int64{
+		{{1, 0}, {0, 1}},
+		{{2, 2}, {2, 3}},
+		{{0, 0, 0}, {0, 0}},
+		{{256}, {1}},
+	}
+	for _, p := range pairs {
+		if HashCounts(p[0]) == HashCounts(p[1]) {
+			t.Errorf("HashCounts collision between %v and %v", p[0], p[1])
+		}
+	}
+}
+
+func TestViewAndRestrictInto(t *testing.T) {
+	s := MustSpace("a", "b", "c")
+	counts := []int64{4, 5, 6}
+	v := View(s, counts)
+	if v.Get(1) != 5 || v.Agents() != 15 {
+		t.Fatalf("View counts wrong: %v", v)
+	}
+	q := MustSpace("c", "z", "a")
+	idx := s.IndexMap(q)
+	if idx[0] != 2 || idx[1] != -1 || idx[2] != 0 {
+		t.Fatalf("IndexMap = %v", idx)
+	}
+	dst := make([]int64, 3)
+	v.RestrictInto(dst, idx)
+	want := v.Restrict(q)
+	for i := range dst {
+		if dst[i] != want.Get(i) {
+			t.Fatalf("RestrictInto = %v, Restrict = %v", dst, want)
+		}
+	}
+}

@@ -97,6 +97,23 @@ func (s *Space) Sub(names ...string) (*Space, error) {
 	return NewSpace(names...)
 }
 
+// IndexMap returns, for each state of q in order, the index of the
+// same-named state in s, or −1 when s does not contain it. It is the
+// precomputed form of the per-name Index lookups behind
+// Config.Restrict, for callers restricting many configurations to the
+// same sub-space (Config.RestrictInto).
+func (s *Space) IndexMap(q *Space) []int {
+	out := make([]int, q.Len())
+	for i := 0; i < q.Len(); i++ {
+		if j, ok := s.Index(q.Name(i)); ok {
+			out[i] = j
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
 // String renders the space as {p, q, ...}.
 func (s *Space) String() string {
 	var b strings.Builder

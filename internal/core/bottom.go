@@ -18,13 +18,13 @@ func Component(net *petri.Net, rho conf.Config, budget petri.Budget) ([]conf.Con
 	if err != nil {
 		return nil, fmt.Errorf("component: %w", err)
 	}
-	adj := rs.AdjacencyLists()
-	comp, ncomp := graph.SCC(adj)
+	comp, ncomp := graph.SCCOf(rs.CSR())
 	members := graph.Members(comp, ncomp)
 	rootComp := comp[0] // node 0 is ρ itself
 	out := make([]conf.Config, 0, len(members[rootComp]))
 	for _, id := range members[rootComp] {
-		out = append(out, rs.Config(id))
+		// Clone: the escaping members must not pin the closure arena.
+		out = append(out, rs.Config(id).Clone())
 	}
 	return out, nil
 }
@@ -38,8 +38,7 @@ func IsBottom(net *petri.Net, rho conf.Config, budget petri.Budget) (bool, error
 	if err != nil {
 		return false, fmt.Errorf("bottom check: %w", err)
 	}
-	adj := rs.AdjacencyLists()
-	_, ncomp := graph.SCC(adj)
+	_, ncomp := graph.SCCOf(rs.CSR())
 	// ρ is bottom iff every reachable configuration is mutually
 	// reachable with ρ, i.e. the whole (finite) closure is one SCC.
 	return ncomp == 1, nil
@@ -63,9 +62,10 @@ type BottomCert struct {
 	ComponentSize int
 }
 
-// ErrNoBottom is returned when the bounded search cannot produce a
-// certificate; Theorem 6.1 guarantees one exists, so hitting this means
-// the search budget was too small for the instance.
+// ErrNoBottom is returned (possibly wrapped with diagnostic counts)
+// when the bounded search cannot produce a certificate; Theorem 6.1
+// guarantees one exists, so hitting this means the search budget was
+// too small for the instance.
 var ErrNoBottom = errors.New("core: bottom-configuration search exhausted without certificate")
 
 // ReachBottomOptions tunes the certificate search.
@@ -80,6 +80,20 @@ type ReachBottomOptions struct {
 	PumpDepth int
 	// MaxCandidates bounds how many visited α are tried. Zero means all.
 	MaxCandidates int
+}
+
+// maskCandidate is the per-candidate-Q state of the certificate
+// search, built once per mask and reused across every visited α: the
+// restricted space and net, the index map driving RestrictInto, and
+// the memo of bottom checks keyed by the arena id of α|Q's counts —
+// exact integer-hash dedup, no string keys.
+type maskCandidate struct {
+	mask   []bool
+	qSpace *conf.Space
+	netQ   *petri.Net
+	idxMap []int
+	seen   *conf.CountSet
+	isBot  []bool
 }
 
 // ReachBottom searches constructively for a Theorem 6.1 certificate.
@@ -113,12 +127,14 @@ func ReachBottom(net *petri.Net, rho conf.Config, opts ReachBottomOptions) (*Bot
 	}
 
 	// Unbounded (or too large): derive candidate Q sets from Karp–Miller
-	// pumpable places.
+	// pumpable places. The restricted space, net and index map of every
+	// mask are built once, outside the (candidate × mask) loop.
 	tree, err := net.KarpMiller(rho, opts.Budget.MaxConfigs)
 	if err != nil {
 		return nil, fmt.Errorf("reach-bottom: %w", err)
 	}
-	var candidates [][]bool
+	var candidates []*maskCandidate
+	maxQ := 0
 	for _, omega := range tree.PumpableSets() {
 		mask := make([]bool, space.Len())
 		for i := range mask {
@@ -127,7 +143,24 @@ func ReachBottom(net *petri.Net, rho conf.Config, opts ReachBottomOptions) (*Bot
 		for _, p := range omega {
 			mask[p] = false // pumpable places leave Q
 		}
-		candidates = append(candidates, mask)
+		qSpace, err := subSpace(space, mask)
+		if err != nil {
+			return nil, err
+		}
+		netQ, err := net.Restrict(qSpace)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, &maskCandidate{
+			mask:   mask,
+			qSpace: qSpace,
+			netQ:   netQ,
+			idxMap: space.IndexMap(qSpace),
+			seen:   conf.NewCountSet(qSpace.Len(), 64),
+		})
+		if qSpace.Len() > maxQ {
+			maxQ = qSpace.Len()
+		}
 	}
 	if len(candidates) == 0 {
 		return nil, ErrNoBottom
@@ -142,47 +175,43 @@ func ReachBottom(net *petri.Net, rho conf.Config, opts ReachBottomOptions) (*Bot
 		maxCand = rs.Len()
 	}
 
-	bottomMemo := make(map[string]bool)
+	skipped := 0 // distinct (Q, α|Q) bottom checks lost to the budget
+	scratchQ := make([]int64, maxQ)
 	for id := 0; id < rs.Len() && id < maxCand; id++ {
 		alpha := rs.Config(id)
-		for _, mask := range candidates {
-			qSpace, err := subSpace(space, mask)
-			if err != nil {
-				return nil, err
-			}
-			netQ, err := net.Restrict(qSpace)
-			if err != nil {
-				return nil, err
-			}
-			alphaQ := alpha.Restrict(qSpace)
-			memoKey := qSpace.String() + "#" + alphaQ.Key()
-			isBot, seen := bottomMemo[memoKey]
-			if !seen {
-				b, err := IsBottom(netQ, alphaQ, opts.subBudget())
+		for _, mc := range candidates {
+			alphaQ := scratchQ[:mc.qSpace.Len()]
+			alpha.RestrictInto(alphaQ, mc.idxMap)
+			qid, added := mc.seen.Insert(alphaQ)
+			if added {
+				b, err := IsBottom(mc.netQ, conf.View(mc.qSpace, mc.seen.At(qid)), opts.subBudget())
 				if err != nil {
 					// Closure too large to certify bottomness: treat as
-					// not bottom for search purposes.
+					// not bottom for search purposes, but account for
+					// the skip so an exhausted search is diagnosable.
 					b = false
+					skipped++
 				}
-				isBot = b
-				bottomMemo[memoKey] = b
+				mc.isBot = append(mc.isBot, b)
 			}
-			if !isBot {
+			if !mc.isBot[qid] {
 				continue
 			}
-			w, beta, found := findPumpWord(net, alpha, mask, pumpDepth, opts.subBudget())
+			w, beta, found := findPumpWord(net, alpha, mc.mask, pumpDepth, opts.subBudget())
 			if !found {
 				continue
 			}
 			cert := &BottomCert{
-				Sigma:         rs.PathTo(id),
-				W:             w,
-				Q:             spaceNamesFromMask(space, mask),
-				Alpha:         alpha,
+				Sigma: rs.PathTo(id),
+				W:     w,
+				Q:     spaceNamesFromMask(space, mc.mask),
+				// Clone: the certificate outlives the closure and must
+				// not pin its arena.
+				Alpha:         alpha.Clone(),
 				Beta:          beta,
 				ComponentSize: 0,
 			}
-			comp, err := Component(netQ, alphaQ, opts.subBudget())
+			comp, err := Component(mc.netQ, conf.View(mc.qSpace, mc.seen.At(qid)), opts.subBudget())
 			if err != nil {
 				return nil, err
 			}
@@ -192,6 +221,9 @@ func ReachBottom(net *petri.Net, rho conf.Config, opts ReachBottomOptions) (*Bot
 			}
 			return cert, nil
 		}
+	}
+	if skipped > 0 {
+		return nil, fmt.Errorf("%w (%d distinct (Q, α|Q) bottom checks hit the closure budget; raise SubBudget.MaxConfigs)", ErrNoBottom, skipped)
 	}
 	return nil, ErrNoBottom
 }
@@ -206,9 +238,8 @@ func (o ReachBottomOptions) subBudget() petri.Budget {
 // bottomFromCompleteClosure picks the closest reachable bottom-SCC
 // configuration as α, with Q = P and w = ε.
 func bottomFromCompleteClosure(net *petri.Net, rs *petri.ReachSet) (*BottomCert, error) {
-	adj := rs.AdjacencyLists()
-	comp, ncomp := graph.SCC(adj)
-	cond := graph.Condense(adj, comp, ncomp)
+	comp, ncomp := graph.SCCOf(rs.CSR())
+	cond := graph.CondenseCSR(rs.CSR(), comp, ncomp)
 	bottoms := graph.BottomComponents(cond)
 	isBottom := make([]bool, ncomp)
 	for _, b := range bottoms {
@@ -226,7 +257,9 @@ func bottomFromCompleteClosure(net *petri.Net, rs *petri.ReachSet) (*BottomCert,
 	if best < 0 {
 		return nil, errors.New("core: internal: complete closure has no bottom SCC")
 	}
-	alpha := rs.Config(best)
+	// Clone: the certificate outlives the closure and must not pin its
+	// arena.
+	alpha := rs.Config(best).Clone()
 	members := graph.Members(comp, ncomp)
 	return &BottomCert{
 		Sigma:         rs.PathTo(best),
@@ -239,62 +272,80 @@ func bottomFromCompleteClosure(net *petri.Net, rs *petri.ReachSet) (*BottomCert,
 }
 
 // findPumpWord searches breadth-first from α for a word w with
-// β|Q = α|Q and β(p) > α(p) for every p outside Q.
+// β|Q = α|Q and β(p) > α(p) for every p outside Q. The visited set is
+// the same arena-backed integer-hash substrate as the closure engine;
+// firing runs through a scratch buffer, so the search allocates only
+// the arena itself.
 func findPumpWord(net *petri.Net, alpha conf.Config, qMask []bool, maxDepth int, budget petri.Budget) ([]int, conf.Config, bool) {
-	type node struct {
-		cfg    conf.Config
-		parent int
-		via    int
-		depth  int
-	}
-	matchesQ := func(c conf.Config) bool {
+	space := net.Space()
+	d := space.Len()
+	idx := net.Index()
+	alphaCounts := alpha.RawCounts()
+
+	matchesQ := func(c []int64) bool {
 		for i, inQ := range qMask {
-			if inQ && c.Get(i) != alpha.Get(i) {
+			if inQ && c[i] != alphaCounts[i] {
 				return false
 			}
 		}
 		return true
 	}
-	pumped := func(c conf.Config) bool {
+	pumped := func(c []int64) bool {
 		for i, inQ := range qMask {
-			if !inQ && c.Get(i) <= alpha.Get(i) {
+			if !inQ && c[i] <= alphaCounts[i] {
 				return false
 			}
 		}
 		return true
 	}
-	nodes := []node{{cfg: alpha, parent: -1, via: -1}}
-	seen := map[string]bool{alpha.Key(): true}
+
+	set := conf.NewCountSet(d, 256)
+	set.Insert(alphaCounts)
+	parent := []int32{-1}
+	via := []int32{-1}
+	depth := []int32{0}
+	scratch := make([]int64, d)
 	maxConfigs := budget.MaxConfigs
 	if maxConfigs <= 0 {
 		maxConfigs = petri.DefaultMaxConfigs
 	}
-	for head := 0; head < len(nodes); head++ {
-		cur := nodes[head]
-		if cur.depth >= maxDepth {
+	// Node ids live in the int32 parent/via arrays: clamp like
+	// petri.Budget does rather than wrap.
+	if maxConfigs > 1<<31-1 {
+		maxConfigs = 1<<31 - 1
+	}
+	for head := 0; head < set.Len(); head++ {
+		if int(depth[head]) >= maxDepth {
 			continue
 		}
+		cur := set.At(head)
 		for ti := 0; ti < net.Len(); ti++ {
-			next, ok := net.At(ti).Fire(cur.cfg)
-			if !ok {
+			if !idx.FireInto(ti, cur, scratch) {
 				continue
 			}
-			if seen[next.Key()] {
+			id, added := set.Insert(scratch)
+			if !added {
 				continue
 			}
-			seen[next.Key()] = true
-			nodes = append(nodes, node{cfg: next, parent: head, via: ti, depth: cur.depth + 1})
-			if matchesQ(next) && pumped(next) {
+			parent = append(parent, int32(head))
+			via = append(via, int32(ti))
+			depth = append(depth, depth[head]+1)
+			if matchesQ(scratch) && pumped(scratch) {
 				var rev []int
-				for i := len(nodes) - 1; nodes[i].parent >= 0; i = nodes[i].parent {
-					rev = append(rev, nodes[i].via)
+				for cur := id; parent[cur] >= 0; cur = int(parent[cur]) {
+					rev = append(rev, int(via[cur]))
 				}
 				for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
 					rev[a], rev[b] = rev[b], rev[a]
 				}
-				return rev, next, true
+				beta, err := conf.FromSlice(space, scratch)
+				if err != nil {
+					// Unreachable: fired counts are non-negative.
+					panic(err)
+				}
+				return rev, beta, true
 			}
-			if len(nodes) >= maxConfigs {
+			if set.Len() >= maxConfigs {
 				return nil, conf.Config{}, false
 			}
 		}

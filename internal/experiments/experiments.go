@@ -218,6 +218,7 @@ func E4VerifyCost() (*Table, error) {
 		{"example42", func() (*core.Protocol, error) { return counting.Example42(2) }, 2, 6},
 		{"example42", func() (*core.Protocol, error) { return counting.Example42(3) }, 3, 7},
 		{"flock", func() (*core.Protocol, error) { return counting.FlockOfBirds(4) }, 4, 7},
+		{"flock", func() (*core.Protocol, error) { return counting.FlockOfBirds(5) }, 5, 8},
 		{"power2", func() (*core.Protocol, error) { return counting.PowerOfTwo(3) }, 8, 10},
 	}
 	for _, c := range cases {
@@ -459,7 +460,9 @@ func E8Bottom() (*Table, error) {
 		Claim:  "|σ|, |w|, d‖α‖∞, d‖β‖∞, component ≤ b = (4+4‖T‖∞+2‖ρ‖∞)^(d^d(1+(2+d^d)^(d+1)))",
 		Header: []string{"net", "d", "|σ|", "|w|", "|Q|", "component", "log10(b)"},
 	}
-	opts := core.ReachBottomOptions{Budget: petri.Budget{MaxConfigs: 1 << 16}}
+	// The arena closure engine made the exploration cheap enough to
+	// quadruple the budget the seed substrate could afford (1<<16).
+	opts := core.ReachBottomOptions{Budget: petri.Budget{MaxConfigs: 1 << 18}}
 
 	type tc struct {
 		name string
@@ -495,6 +498,14 @@ func E8Bottom() (*Table, error) {
 		}
 		cases = append(cases, tc{"flock3(x=4)", p.Net(),
 			p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 4}))})
+	}
+	{
+		p, err := counting.FlockOfBirds(4)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, tc{"flock4(x=5)", p.Net(),
+			p.InitialConfig(conf.MustFromMap(p.Space(), map[string]int64{"i": 5}))})
 	}
 	for _, c := range cases {
 		cert, err := core.ReachBottom(c.net, c.rho, opts)

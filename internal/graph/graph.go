@@ -6,17 +6,84 @@
 // node ids of petri.ReachSet closures.
 package graph
 
+// CSR is a directed graph in compressed sparse row form: node v's
+// successors are Dst[Off[v]:Off[v+1]]. It is the allocation-free edge
+// representation produced by petri.ReachSet closures; NewCSR converts
+// plain adjacency lists.
+type CSR struct {
+	Off []int32 // length NumNodes()+1
+	Dst []int32
+}
+
+// NewCSR builds a CSR graph from adjacency lists, preserving edge
+// order.
+func NewCSR(adj [][]int) CSR {
+	total := 0
+	for _, ws := range adj {
+		total += len(ws)
+	}
+	g := CSR{
+		Off: make([]int32, len(adj)+1),
+		Dst: make([]int32, 0, total),
+	}
+	for v, ws := range adj {
+		for _, w := range ws {
+			g.Dst = append(g.Dst, int32(w))
+		}
+		g.Off[v+1] = int32(len(g.Dst))
+	}
+	return g
+}
+
+// NumNodes returns the number of nodes.
+func (g CSR) NumNodes() int { return len(g.Off) - 1 }
+
+// Succ returns node v's successor slice (shared, not to be mutated).
+func (g CSR) Succ(v int) []int32 { return g.Dst[g.Off[v]:g.Off[v+1]] }
+
+// Reverse returns the reversed graph in CSR form, built with a
+// counting sort — two passes over the edge array, no per-node slices.
+func (g CSR) Reverse() CSR {
+	n := g.NumNodes()
+	r := CSR{
+		Off: make([]int32, n+1),
+		Dst: make([]int32, len(g.Dst)),
+	}
+	for _, w := range g.Dst {
+		r.Off[w+1]++
+	}
+	for v := 0; v < n; v++ {
+		r.Off[v+1] += r.Off[v]
+	}
+	next := make([]int32, n)
+	copy(next, r.Off[:n])
+	for v := 0; v < n; v++ {
+		for _, w := range g.Succ(v) {
+			r.Dst[next[w]] = int32(v)
+			next[w]++
+		}
+	}
+	return r
+}
+
 // SCC computes the strongly connected components of the graph given as
-// adjacency lists, using Tarjan's algorithm (iterative, so deep graphs
-// cannot overflow the goroutine stack).
+// adjacency lists. It is SCCOf over NewCSR(adj); see SCCOf for the
+// component-numbering contract.
+func SCC(adj [][]int) (comp []int, ncomp int) {
+	return SCCOf(NewCSR(adj))
+}
+
+// SCCOf computes the strongly connected components of a CSR graph,
+// using Tarjan's algorithm (iterative, so deep graphs cannot overflow
+// the goroutine stack).
 //
 // It returns the component id of every node and the number of
 // components. Component ids are in reverse topological order: if there
 // is an edge from a node in component x to a node in component y with
 // x ≠ y, then x > y. Consequently component 0 is always a "bottom"
 // (sink) component of the condensation.
-func SCC(adj [][]int) (comp []int, ncomp int) {
-	n := len(adj)
+func SCCOf(g CSR) (comp []int, ncomp int) {
+	n := g.NumNodes()
 	comp = make([]int, n)
 	for i := range comp {
 		comp[i] = -1
@@ -50,8 +117,8 @@ func SCC(adj [][]int) (comp []int, ncomp int) {
 
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
-			if f.ei < len(adj[f.v]) {
-				w := adj[f.v][f.ei]
+			if succ := g.Succ(f.v); f.ei < len(succ) {
+				w := int(succ[f.ei])
 				f.ei++
 				if index[w] == -1 {
 					index[w] = next
@@ -97,11 +164,17 @@ func SCC(adj [][]int) (comp []int, ncomp int) {
 // between distinct components, deduplicated. Component ids follow SCC's
 // numbering.
 func Condense(adj [][]int, comp []int, ncomp int) [][]int {
+	return CondenseCSR(NewCSR(adj), comp, ncomp)
+}
+
+// CondenseCSR is Condense over a CSR graph.
+func CondenseCSR(g CSR, comp []int, ncomp int) [][]int {
 	out := make([][]int, ncomp)
 	seen := make(map[[2]int]bool)
-	for v, ws := range adj {
-		for _, w := range ws {
-			a, b := comp[v], comp[w]
+	for v := 0; v < g.NumNodes(); v++ {
+		a := comp[v]
+		for _, w := range g.Succ(v) {
+			b := comp[w]
 			if a == b {
 				continue
 			}
@@ -139,22 +212,38 @@ func Members(comp []int, ncomp int) [][]int {
 
 // CanReach computes, for every node, whether some node in the target set
 // is reachable (including trivially, when the node itself is a target).
-// It runs a reverse BFS from the targets.
+// It runs a reverse BFS from the targets. Callers that need several
+// passes over the same graph should build the reverse CSR once and use
+// ReachableFrom.
 func CanReach(adj [][]int, targets []int) []bool {
-	n := len(adj)
-	radj := Reverse(adj)
-	reach := make([]bool, n)
-	queue := make([]int, 0, len(targets))
-	for _, t := range targets {
-		if !reach[t] {
-			reach[t] = true
-			queue = append(queue, t)
+	return ReachableFrom(NewCSR(adj).Reverse(), targets, nil)
+}
+
+// ReachableFrom computes, for every node, whether it is reachable from
+// some source by a forward BFS over g. reach, when non-nil, is used as
+// the result buffer (cleared first) so repeated passes over one graph
+// allocate nothing beyond the queue.
+func ReachableFrom(g CSR, sources []int, reach []bool) []bool {
+	n := g.NumNodes()
+	if cap(reach) >= n {
+		reach = reach[:n]
+		for i := range reach {
+			reach[i] = false
+		}
+	} else {
+		reach = make([]bool, n)
+	}
+	queue := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if !reach[s] {
+			reach[s] = true
+			queue = append(queue, int32(s))
 		}
 	}
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range radj[v] {
+		for _, w := range g.Succ(int(v)) {
 			if !reach[w] {
 				reach[w] = true
 				queue = append(queue, w)

@@ -166,3 +166,81 @@ func TestReverse(t *testing.T) {
 		t.Errorf("Reverse = %v", r)
 	}
 }
+
+func TestCSRRoundTrip(t *testing.T) {
+	adj := [][]int{{1, 2}, {2}, {0, 2}, {}}
+	g := NewCSR(adj)
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	for v, ws := range adj {
+		succ := g.Succ(v)
+		if len(succ) != len(ws) {
+			t.Fatalf("Succ(%d) = %v, want %v", v, succ, ws)
+		}
+		for i, w := range ws {
+			if int(succ[i]) != w {
+				t.Fatalf("Succ(%d)[%d] = %d, want %d", v, i, succ[i], w)
+			}
+		}
+	}
+}
+
+func TestCSRReverseMatchesReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		adj := make([][]int, n)
+		for v := range adj {
+			for w := 0; w < n; w++ {
+				if rng.Intn(3) == 0 {
+					adj[v] = append(adj[v], w)
+				}
+			}
+		}
+		want := Reverse(adj)
+		got := NewCSR(adj).Reverse()
+		for v := 0; v < n; v++ {
+			succ := got.Succ(v)
+			if len(succ) != len(want[v]) {
+				t.Fatalf("reverse Succ(%d) = %v, want %v", v, succ, want[v])
+			}
+			// Reverse (adjacency) emits sources in increasing v order,
+			// which is exactly the counting-sort order of CSR.Reverse.
+			for i := range succ {
+				if int(succ[i]) != want[v][i] {
+					t.Fatalf("reverse Succ(%d) = %v, want %v", v, succ, want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestReachableFromMatchesCanReach(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf []bool
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		adj := make([][]int, n)
+		for v := range adj {
+			for w := 0; w < n; w++ {
+				if rng.Intn(3) == 0 {
+					adj[v] = append(adj[v], w)
+				}
+			}
+		}
+		var targets []int
+		for v := 0; v < n; v++ {
+			if rng.Intn(4) == 0 {
+				targets = append(targets, v)
+			}
+		}
+		want := CanReach(adj, targets)
+		buf = ReachableFrom(NewCSR(adj).Reverse(), targets, buf) // reused buffer
+		for v := range want {
+			if want[v] != buf[v] {
+				t.Fatalf("node %d: CanReach=%v ReachableFrom=%v", v, want[v], buf[v])
+			}
+		}
+	}
+}

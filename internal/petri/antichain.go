@@ -1,0 +1,135 @@
+package petri
+
+import "sort"
+
+// antichain maintains a set of pairwise-incomparable count vectors —
+// the minimal basis of an upward-closed set, or the maximal visited
+// set of a domination-pruned search — with sum-bucketed pruning:
+// members are kept ordered by total agent count, so a domination query
+// against c scans only the members whose sum makes domination possible
+// (sum(b) ≤ sum(c) for b ≤ c, the other tail for b ≥ c) instead of the
+// whole basis. Counts live in a flat arena with free-slot recycling;
+// queries allocate nothing.
+type antichain struct {
+	width int
+	arena []int64 // slot s's counts at arena[s*width : (s+1)*width]
+	sums  []int64 // per slot
+	order []int32 // live slots, sorted by sum ascending
+	free  []int32
+}
+
+func newAntichain(width int) *antichain {
+	return &antichain{width: width}
+}
+
+func (a *antichain) len() int { return len(a.order) }
+
+func (a *antichain) at(slot int32) []int64 {
+	lo := int(slot) * a.width
+	return a.arena[lo : lo+a.width : lo+a.width]
+}
+
+// someLeq reports whether some member m satisfies m ≤ c; only members
+// with sum(m) ≤ sum(c) are examined.
+func (a *antichain) someLeq(c []int64, sumC int64) bool {
+	for _, s := range a.order {
+		if a.sums[s] > sumC {
+			return false
+		}
+		if leqCounts(a.at(s), c) {
+			return true
+		}
+	}
+	return false
+}
+
+// someGeq reports whether some member m satisfies c ≤ m; only members
+// with sum(m) ≥ sum(c) are examined.
+func (a *antichain) someGeq(c []int64, sumC int64) bool {
+	for i := len(a.order) - 1; i >= 0; i-- {
+		s := a.order[i]
+		if a.sums[s] < sumC {
+			return false
+		}
+		if leqCounts(c, a.at(s)) {
+			return true
+		}
+	}
+	return false
+}
+
+// insertMinimal adds c to the antichain unless some member is ≤ c; it
+// removes the members c is ≤ of (all in the sum ≥ sum(c) tail). It
+// reports whether c was added. This is the minimal-basis maintenance
+// step of the backward coverability algorithm.
+func (a *antichain) insertMinimal(c []int64) bool {
+	sumC := sumCounts(c)
+	if a.someLeq(c, sumC) {
+		return false // c is redundant in the upward closure
+	}
+	// Drop dominated members: c ≤ m implies sum(c) ≤ sum(m), so only
+	// the tail of the order can be affected.
+	kept := a.order
+	for i := len(a.order) - 1; i >= 0; i-- {
+		s := a.order[i]
+		if a.sums[s] < sumC {
+			break
+		}
+		if leqCounts(c, a.at(s)) {
+			kept = append(kept[:i], kept[i+1:]...)
+			a.free = append(a.free, s)
+		}
+	}
+	a.order = kept
+	a.insert(c, sumC)
+	return true
+}
+
+// insertMaximal adds c, removing the members ≤ c (all in the
+// sum ≤ sum(c) prefix). Callers check someGeq first; matching the
+// historical insertMaximal, c is inserted unconditionally.
+func (a *antichain) insertMaximal(c []int64) {
+	sumC := sumCounts(c)
+	kept := a.order[:0]
+	for i, s := range a.order {
+		if a.sums[s] > sumC {
+			kept = append(kept, a.order[i:]...)
+			break
+		}
+		if leqCounts(a.at(s), c) {
+			a.free = append(a.free, s)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	a.order = kept
+	a.insert(c, sumC)
+}
+
+// insert copies c into a slot and places it in sum order.
+func (a *antichain) insert(c []int64, sumC int64) {
+	var slot int32
+	if n := len(a.free); n > 0 {
+		slot = a.free[n-1]
+		a.free = a.free[:n-1]
+		copy(a.at(slot), c)
+	} else {
+		slot = int32(len(a.sums))
+		a.arena = append(a.arena, c...)
+		a.sums = append(a.sums, 0)
+	}
+	a.sums[slot] = sumC
+	pos := sort.Search(len(a.order), func(i int) bool { return a.sums[a.order[i]] > sumC })
+	a.order = append(a.order, 0)
+	copy(a.order[pos+1:], a.order[pos:])
+	a.order[pos] = slot
+}
+
+func leqCounts(a, b []int64) bool {
+	for i, v := range a {
+		if v > b[i] {
+			return false
+		}
+	}
+	return true
+}

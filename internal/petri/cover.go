@@ -10,7 +10,9 @@ import (
 // configuration: whether some β ≥ target is reachable. It runs the
 // classical backward algorithm over minimal bases of upward-closed sets,
 // which terminates by Dickson's lemma; maxBasis (0 = default) caps the
-// basis size defensively.
+// basis size defensively. The basis is a sum-bucketed antichain with
+// all predecessor steps fired into a scratch buffer: no configuration
+// is allocated on the search path.
 func (n *Net) Coverable(from, target conf.Config, maxBasis int) (bool, error) {
 	if !from.Space().Equal(n.space) || !target.Space().Equal(n.space) {
 		return false, errors.New("petri: coverability arguments over wrong space")
@@ -18,57 +20,39 @@ func (n *Net) Coverable(from, target conf.Config, maxBasis int) (bool, error) {
 	if maxBasis <= 0 {
 		maxBasis = DefaultMaxConfigs
 	}
+	d := n.space.Len()
+	idx := n.Index()
+	fromCounts := from.RawCounts()
+	fromSum := sumCounts(fromCounts)
+
 	// basis is a minimal antichain whose upward closure is the set of
 	// configurations from which target is coverable.
-	basis := []conf.Config{target}
-	frontier := []conf.Config{target}
+	basis := newAntichain(d)
+	basis.insertMinimal(target.RawCounts())
+	frontier := append([]int64(nil), target.RawCounts()...)
+	var next []int64
+	scratch := make([]int64, d)
+
 	for len(frontier) > 0 {
-		if covered(basis, from) {
+		if basis.someLeq(fromCounts, fromSum) {
 			return true, nil
 		}
-		var next []conf.Config
-		for _, m := range frontier {
-			for _, t := range n.trans {
-				pred := t.BackFire(m)
-				if insertMinimal(&basis, pred) {
-					next = append(next, pred)
+		next = next[:0]
+		for off := 0; off < len(frontier); off += d {
+			m := frontier[off : off+d]
+			for ti := 0; ti < len(n.trans); ti++ {
+				idx.BackFireInto(ti, m, scratch)
+				if basis.insertMinimal(scratch) {
+					next = append(next, scratch...)
 				}
 			}
 		}
-		if len(basis) > maxBasis {
-			return false, errBudget("coverable", len(basis))
+		if basis.len() > maxBasis {
+			return false, errBudget("coverable", basis.len())
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
-	return covered(basis, from), nil
-}
-
-// covered reports whether c is in the upward closure of the basis.
-func covered(basis []conf.Config, c conf.Config) bool {
-	for _, b := range basis {
-		if b.Leq(c) {
-			return true
-		}
-	}
-	return false
-}
-
-// insertMinimal adds cand to the antichain unless it is dominated;
-// it removes elements cand dominates. It reports whether cand was added.
-func insertMinimal(basis *[]conf.Config, cand conf.Config) bool {
-	for _, b := range *basis {
-		if b.Leq(cand) {
-			return false // cand is redundant
-		}
-	}
-	kept := (*basis)[:0]
-	for _, b := range *basis {
-		if !cand.Leq(b) {
-			kept = append(kept, b)
-		}
-	}
-	*basis = append(kept, cand)
-	return true
+	return basis.someLeq(fromCounts, fromSum), nil
 }
 
 // CoverWitness is the result of a shortest covering-word search.
@@ -82,9 +66,11 @@ type CoverWitness struct {
 // ShortestCoveringWord searches breadth-first for a shortest word
 // covering target from the given configuration. Configurations dominated
 // by an already-visited one are pruned, which is sound for coverability
-// because enabledness and coverage are upward monotone. It returns nil
-// (no error) when target is provably not coverable within the budget
-// semantics, and a wrapped ErrBudget when the search was truncated.
+// because enabledness and coverage are upward monotone; the visited
+// maximal set is a sum-bucketed antichain, and the BFS nodes live in a
+// flat arena. It returns nil (no error) when target is provably not
+// coverable within the budget semantics, and a wrapped ErrBudget when
+// the search was truncated.
 //
 // The measured |Word| is the quantity Lemma 5.3 (Rackoff) bounds by
 // (‖target‖∞ + ‖T‖∞)^(|P|^|P|).
@@ -95,21 +81,26 @@ func (n *Net) ShortestCoveringWord(from, target conf.Config, budget Budget) (*Co
 	if target.Leq(from) {
 		return &CoverWitness{Word: nil, Reached: from}, nil
 	}
-	type node struct {
-		cfg    conf.Config
-		parent int
-		via    int
-	}
-	nodes := []node{{cfg: from, parent: -1, via: -1}}
+	d := n.space.Len()
+	idx := n.Index()
+	targetCounts := target.RawCounts()
+
+	// nodes live flat: counts in buf, tree links alongside.
+	buf := append([]int64(nil), from.RawCounts()...)
+	parent := []int32{-1}
+	via := []int32{-1}
+	numNodes := 1
 	// maximal is the antichain of visited configurations used for
 	// domination pruning.
-	maximal := []conf.Config{from}
+	maximal := newAntichain(d)
+	maximal.insertMaximal(from.RawCounts())
 	maxConfigs := budget.maxConfigs()
+	scratch := make([]int64, d)
 
 	extract := func(i int) []int {
 		var rev []int
-		for cur := i; nodes[cur].parent >= 0; cur = nodes[cur].parent {
-			rev = append(rev, nodes[cur].via)
+		for cur := i; parent[cur] >= 0; cur = int(parent[cur]) {
+			rev = append(rev, int(via[cur]))
 		}
 		for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
 			rev[a], rev[b] = rev[b], rev[a]
@@ -117,50 +108,36 @@ func (n *Net) ShortestCoveringWord(from, target conf.Config, budget Budget) (*Co
 		return rev
 	}
 
-	for head := 0; head < len(nodes); head++ {
-		cur := nodes[head].cfg
-		for ti, t := range n.trans {
-			next, ok := t.Fire(cur)
-			if !ok {
+	for head := 0; head < numNodes; head++ {
+		cur := buf[head*d : (head+1)*d]
+		for ti := 0; ti < len(n.trans); ti++ {
+			if !idx.FireInto(ti, cur, scratch) {
 				continue
 			}
-			if budget.MaxAgents > 0 && next.Agents() > budget.MaxAgents {
-				return nil, errBudget("cover-search", len(nodes))
+			sum := sumCounts(scratch)
+			if budget.MaxAgents > 0 && sum > budget.MaxAgents {
+				return nil, errBudget("cover-search", numNodes)
 			}
-			if dominatedBy(maximal, next) {
+			if maximal.someGeq(scratch, sum) {
 				continue
 			}
-			nodes = append(nodes, node{cfg: next, parent: head, via: ti})
-			if target.Leq(next) {
-				return &CoverWitness{Word: extract(len(nodes) - 1), Reached: next}, nil
+			buf = append(buf, scratch...)
+			parent = append(parent, int32(head))
+			via = append(via, int32(ti))
+			numNodes++
+			if leqCounts(targetCounts, scratch) {
+				reached, err := conf.FromSlice(n.space, scratch)
+				if err != nil {
+					// Unreachable: fired counts are non-negative.
+					panic(err)
+				}
+				return &CoverWitness{Word: extract(numNodes - 1), Reached: reached}, nil
 			}
-			insertMaximal(&maximal, next)
-			if len(nodes) >= maxConfigs {
-				return nil, errBudget("cover-search", len(nodes))
+			maximal.insertMaximal(scratch)
+			if numNodes >= maxConfigs {
+				return nil, errBudget("cover-search", numNodes)
 			}
 		}
 	}
 	return nil, nil
-}
-
-// dominatedBy reports whether some element of the antichain dominates c.
-func dominatedBy(maximal []conf.Config, c conf.Config) bool {
-	for _, m := range maximal {
-		if c.Leq(m) {
-			return true
-		}
-	}
-	return false
-}
-
-// insertMaximal adds cand to the antichain of maximal visited
-// configurations, dropping the elements it dominates.
-func insertMaximal(maximal *[]conf.Config, cand conf.Config) {
-	kept := (*maximal)[:0]
-	for _, m := range *maximal {
-		if !m.Leq(cand) {
-			kept = append(kept, m)
-		}
-	}
-	*maximal = append(kept, cand)
 }

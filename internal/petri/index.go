@@ -91,6 +91,46 @@ func (x *Index) AggregateDelta(fires []int64, disp []int64) {
 	}
 }
 
+// FireInto attempts to fire transition ti from the src counts into the
+// dst scratch buffer (both dense, indexed like the net's space),
+// reporting whether ti was enabled. On success dst holds src + Δ(ti);
+// on failure dst is unspecified. It is the zero-allocation form of
+// Transition.Fire used by the closure engines: the sparse precondition
+// check touches only Pre's support and the displacement only Δ's.
+func (x *Index) FireInto(ti int, src, dst []int64) bool {
+	for _, e := range x.pre[ti] {
+		if src[e.State] < e.N {
+			return false
+		}
+	}
+	copy(dst, src)
+	for _, e := range x.delta[ti] {
+		dst[e.State] += e.N
+	}
+	return true
+}
+
+// BackFireInto writes into dst the minimal configuration from which
+// firing ti covers the target counts: max(Pre, target − Δ(ti))
+// componentwise, clamped at zero. It is the scratch-buffer form of
+// Transition.BackFire used by the backward coverability loop.
+func (x *Index) BackFireInto(ti int, target, dst []int64) {
+	copy(dst, target)
+	for _, e := range x.delta[ti] {
+		dst[e.State] -= e.N
+	}
+	for i, v := range dst {
+		if v < 0 {
+			dst[i] = 0
+		}
+	}
+	for _, e := range x.pre[ti] {
+		if dst[e.State] < e.N {
+			dst[e.State] = e.N
+		}
+	}
+}
+
 // Affected returns the transitions whose instance weight can change
 // when transition ti fires: the deduplicated dependents of ti's delta
 // support, precomputed so the simulation hot path needs no per-fire

@@ -75,32 +75,24 @@ func (m ExtMarking) clone() ExtMarking {
 	return out
 }
 
-// fire attempts to fire t on the extended marking (ω absorbs all
-// arithmetic).
-func (m ExtMarking) fire(t Transition) (ExtMarking, bool) {
-	out := m.clone()
-	for i := range out {
-		pre := t.Pre.Get(i)
-		if out[i] == Omega {
-			continue
-		}
-		if out[i] < pre {
-			return nil, false
-		}
-		out[i] += t.Post.Get(i) - pre
-	}
-	return out, true
-}
-
-// key serializes the marking for dedup purposes.
-func (m ExtMarking) key() string {
-	buf := make([]byte, 0, len(m)*8)
-	for _, v := range m {
-		for s := 0; s < 64; s += 8 {
-			buf = append(buf, byte(v>>s))
+// extFireInto attempts to fire transition ti on the src extended
+// marking into the dst scratch buffer (ω absorbs all arithmetic),
+// reporting enabledness. It is the ω-aware sibling of Index.FireInto:
+// same sparse precondition check and sparse displacement, no
+// allocation.
+func extFireInto(idx *Index, ti int, src, dst []int64) bool {
+	for _, e := range idx.Pre(ti) {
+		if src[e.State] != Omega && src[e.State] < e.N {
+			return false
 		}
 	}
-	return string(buf)
+	copy(dst, src)
+	for _, e := range idx.Delta(ti) {
+		if dst[e.State] != Omega {
+			dst[e.State] += e.N
+		}
+	}
+	return true
 }
 
 // KMNode is a node of the Karp–Miller tree.
@@ -120,6 +112,11 @@ type KMTree struct {
 // KarpMiller builds the Karp–Miller tree from the given configuration.
 // maxNodes (0 = default) caps the construction defensively; the
 // algorithm itself always terminates.
+//
+// Markings are deduplicated through the same arena-backed integer-hash
+// set as the reachability closure (no string keys); tree nodes with
+// equal markings share one arena vector, and firing/acceleration run
+// in a scratch buffer.
 func (n *Net) KarpMiller(from conf.Config, maxNodes int) (*KMTree, error) {
 	if !from.Space().Equal(n.space) {
 		return nil, errors.New("petri: initial configuration over wrong space")
@@ -127,22 +124,32 @@ func (n *Net) KarpMiller(from conf.Config, maxNodes int) (*KMTree, error) {
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxConfigs
 	}
+	// Marking ids live in the CountSet's int32 table: clamp like
+	// Budget.maxConfigs rather than wrap.
+	if maxNodes > maxInt32 {
+		maxNodes = maxInt32
+	}
+	d := n.space.Len()
+	idx := n.Index()
+	seen := conf.NewCountSet(d, 256)
+	scratch := make([]int64, d)
+
 	tree := &KMTree{net: n}
-	tree.Nodes = append(tree.Nodes, KMNode{Marking: NewExtMarking(from), Parent: -1, Via: -1})
-	seen := map[string]bool{tree.Nodes[0].Marking.key(): true}
+	rootID, _ := seen.Insert(NewExtMarking(from))
+	tree.Nodes = append(tree.Nodes, KMNode{Marking: ExtMarking(seen.At(rootID)), Parent: -1, Via: -1})
 	queue := []int{0}
 
 	for len(queue) > 0 {
 		head := queue[0]
 		queue = queue[1:]
 		cur := tree.Nodes[head].Marking
-		for ti, t := range n.trans {
-			next, ok := cur.fire(t)
-			if !ok {
+		for ti := 0; ti < len(n.trans); ti++ {
+			if !extFireInto(idx, ti, cur, scratch) {
 				continue
 			}
 			// Acceleration: for every strictly dominated ancestor,
 			// promote strictly increased places to ω.
+			next := ExtMarking(scratch)
 			for anc := head; anc >= 0; anc = tree.Nodes[anc].Parent {
 				am := tree.Nodes[anc].Marking
 				if am.Leq(next) && !am.Equal(next) {
@@ -153,14 +160,14 @@ func (n *Net) KarpMiller(from conf.Config, maxNodes int) (*KMTree, error) {
 					}
 				}
 			}
+			sid, added := seen.Insert(next)
 			id := len(tree.Nodes)
-			tree.Nodes = append(tree.Nodes, KMNode{Marking: next, Parent: head, Via: ti})
+			tree.Nodes = append(tree.Nodes, KMNode{Marking: ExtMarking(seen.At(sid)), Parent: head, Via: ti})
 			tree.Nodes[head].Children = append(tree.Nodes[head].Children, id)
 			// Expand only markings not seen anywhere in the tree so far
 			// (the "set" variant, sound for boundedness and
 			// coverability-set computation).
-			if k := next.key(); !seen[k] {
-				seen[k] = true
+			if added {
 				queue = append(queue, id)
 			}
 			if len(tree.Nodes) > maxNodes {

@@ -2,8 +2,10 @@ package petri
 
 import (
 	"errors"
+	"sync"
 
 	"repro/internal/conf"
+	"repro/internal/graph"
 )
 
 // ErrBudget is reported (wrapped) when an exploration exceeds its budget.
@@ -21,6 +23,13 @@ type Budget struct {
 	// MaxDepth caps the exploration depth (word length). Zero means
 	// unlimited.
 	MaxDepth int
+	// Workers enables the level-synchronized parallel BFS: levels of
+	// the closure wide enough to amortize the fan-out are expanded by
+	// this many workers, with frontiers merged in worker-index order so
+	// node ids — and hence the whole ReachSet, including truncation
+	// points — are byte-identical to the sequential exploration. 0 or 1
+	// means sequential.
+	Workers int
 }
 
 // DefaultMaxConfigs is the visited-set cap used when Budget.MaxConfigs
@@ -31,6 +40,12 @@ func (b Budget) maxConfigs() int {
 	if b.MaxConfigs <= 0 {
 		return DefaultMaxConfigs
 	}
+	// Node ids live in int32 arrays across every search (Reach, the
+	// covering-word BFS); a budget past that cannot be represented (or
+	// fit in memory), so clamp instead of silently wrapping.
+	if b.MaxConfigs > maxInt32 {
+		return maxInt32
+	}
 	return b.MaxConfigs
 }
 
@@ -40,17 +55,25 @@ type Edge struct {
 	To    int
 }
 
-// ReachSet is the (possibly truncated) forward reachability closure of a
-// configuration, with enough structure to reconstruct shortest firing
+// ReachSet is the (possibly truncated) forward reachability closure of
+// a configuration, with enough structure to reconstruct shortest firing
 // words and to run SCC analyses.
+//
+// Internally the closure lives in a flat arena: node counts in a
+// conf.CountSet (node id = insertion order, dedup via an
+// open-addressing table over integer hashes — no string keys), edges in
+// CSR form (one offset array, flat target/transition arrays), and the
+// BFS tree in dense int32 arrays. No per-node allocation happens on the
+// exploration hot path.
 type ReachSet struct {
 	net     *Net
-	configs []conf.Config
-	index   map[string]int
-	edges   [][]Edge
-	parent  []int // BFS tree parent node, −1 at the root
-	via     []int // transition fired from parent, −1 at the root
-	depth   []int
+	set     *conf.CountSet
+	edgeOff []int32 // CSR offsets; finalized to length Len()+1
+	edgeTo  []int32
+	edgeVia []int32
+	parent  []int32 // BFS tree parent node, −1 at the root
+	via     []int32 // transition fired from parent, −1 at the root
+	depth   []int32
 
 	// Complete reports that the closure is exact: no budget or depth
 	// truncation occurred. Analyses that require exactness must check it.
@@ -66,46 +89,256 @@ func (n *Net) Reach(from conf.Config, budget Budget) (*ReachSet, error) {
 	if !from.Space().Equal(n.space) {
 		return nil, errors.New("petri: initial configuration over wrong space")
 	}
+	d := n.space.Len()
 	rs := &ReachSet{
 		net:      n,
-		index:    make(map[string]int),
+		set:      conf.NewCountSet(d, 256),
 		Complete: true,
 	}
-	rs.add(from, -1, -1, 0)
-	maxConfigs := budget.maxConfigs()
+	rs.set.Insert(from.RawCounts())
+	rs.parent = append(rs.parent, -1)
+	rs.via = append(rs.via, -1)
+	rs.depth = append(rs.depth, 0)
+	rs.edgeOff = append(rs.edgeOff, 0)
 
-	for head := 0; head < len(rs.configs); head++ {
-		if budget.MaxDepth > 0 && rs.depth[head] >= budget.MaxDepth {
-			// Unexpanded frontier node: the closure may be missing
-			// deeper configurations.
+	e := &expander{
+		rs:         rs,
+		idx:        n.Index(),
+		budget:     budget,
+		maxConfigs: budget.maxConfigs(), // int32-clamped
+		scratch:    make([]int64, d),
+	}
+	workers := budget.Workers
+
+	// The BFS queue is the node id sequence itself; depths are
+	// monotone, so each level is a contiguous id range.
+	for level := 0; level < rs.set.Len(); {
+		depth := rs.depth[level]
+		if budget.MaxDepth > 0 && int(depth) >= budget.MaxDepth {
+			// Unexpanded frontier: the closure may be missing deeper
+			// configurations.
+			rs.Complete = false
+			break
+		}
+		levelEnd := level + 1
+		for levelEnd < len(rs.depth) && rs.depth[levelEnd] == depth {
+			levelEnd++
+		}
+		var ok bool
+		if workers > 1 && levelEnd-level >= parallelWidth(workers) {
+			ok = e.expandLevelParallel(level, levelEnd, workers)
+		} else {
+			ok = true
+			for head := level; head < levelEnd && ok; head++ {
+				ok = e.expandNode(head)
+			}
+		}
+		if !ok {
+			rs.finalizeEdges()
+			return rs, errBudget("reach", rs.set.Len())
+		}
+		level = levelEnd
+	}
+	rs.finalizeEdges()
+	if !rs.Complete {
+		return rs, errBudget("reach", rs.set.Len())
+	}
+	return rs, nil
+}
+
+// parallelWidth is the minimal level width worth fanning out to the
+// given worker count.
+func parallelWidth(workers int) int {
+	if w := 2 * workers; w > 32 {
+		return w
+	}
+	return 32
+}
+
+// expander carries the scratch state of one Reach call.
+type expander struct {
+	rs         *ReachSet
+	idx        *Index
+	budget     Budget
+	maxConfigs int
+	scratch    []int64
+
+	// Per-worker buffers of the parallel BFS, reused across levels.
+	wrecs    [][]fireRec
+	wbufs    [][]int64
+	wscratch [][]int64
+}
+
+// fireRec is one successful firing computed by a parallel worker,
+// resolved against the visited set during the serial merge.
+type fireRec struct {
+	head int32
+	ti   int32
+	over bool // MaxAgents exceeded: prune, marking the closure incomplete
+	hash uint64
+}
+
+// expandNode expands one node sequentially. It reports false when the
+// configuration budget was exhausted mid-expansion (exploration stops
+// with exactly maxConfigs nodes, the offending successor not added).
+func (e *expander) expandNode(head int) bool {
+	rs := e.rs
+	nt := len(rs.net.trans)
+	rs.checkEdgeCapacity(nt)
+	cur := rs.set.At(head)
+	for ti := 0; ti < nt; ti++ {
+		if !e.idx.FireInto(ti, cur, e.scratch) {
+			continue
+		}
+		if e.budget.MaxAgents > 0 && sumCounts(e.scratch) > e.budget.MaxAgents {
 			rs.Complete = false
 			continue
 		}
-		cur := rs.configs[head]
-		for ti, t := range n.trans {
-			next, ok := t.Fire(cur)
-			if !ok {
-				continue
-			}
-			if budget.MaxAgents > 0 && next.Agents() > budget.MaxAgents {
-				rs.Complete = false
-				continue
-			}
-			id, exists := rs.lookup(next)
-			if !exists {
-				if len(rs.configs) >= maxConfigs {
-					rs.Complete = false
-					return rs, errBudget("reach", len(rs.configs))
-				}
-				id = rs.add(next, head, ti, rs.depth[head]+1)
-			}
-			rs.edges[head] = append(rs.edges[head], Edge{Trans: ti, To: id})
+		if !e.resolve(int32(head), int32(ti), e.scratch, conf.HashCounts(e.scratch)) {
+			return false
 		}
 	}
-	if !rs.Complete {
-		return rs, errBudget("reach", len(rs.configs))
+	rs.edgeOff = append(rs.edgeOff, int32(len(rs.edgeTo)))
+	return true
+}
+
+// resolve commits one successful firing against the visited set: dedup
+// or admit the successor (budget permitting) and record the edge. It
+// reports false on budget exhaustion. Both the sequential path and the
+// parallel merge run through this single implementation — the
+// byte-identical-for-any-worker-count guarantee depends on them
+// resolving successors identically.
+func (e *expander) resolve(head, ti int32, counts []int64, hash uint64) bool {
+	rs := e.rs
+	id, added, full := rs.set.InsertCapped(counts, hash, e.maxConfigs)
+	if full {
+		rs.Complete = false
+		return false
 	}
-	return rs, nil
+	if added {
+		rs.parent = append(rs.parent, head)
+		rs.via = append(rs.via, ti)
+		rs.depth = append(rs.depth, rs.depth[head]+1)
+	}
+	rs.edgeTo = append(rs.edgeTo, int32(id))
+	rs.edgeVia = append(rs.edgeVia, ti)
+	return true
+}
+
+// expandLevelParallel expands the level [lo, hi) with the given worker
+// count: workers fire every transition of contiguous head chunks into
+// private buffers (reads only — the arena is immutable during the
+// fan-out), then a serial merge resolves the records against the
+// visited set in (head, transition) order, which is exactly the
+// sequential exploration order. Node ids, edges and truncation points
+// are therefore byte-identical to the sequential BFS.
+func (e *expander) expandLevelParallel(lo, hi, workers int) bool {
+	rs := e.rs
+	d := rs.set.Width()
+	for len(e.wrecs) < workers {
+		e.wrecs = append(e.wrecs, nil)
+		e.wbufs = append(e.wbufs, nil)
+		e.wscratch = append(e.wscratch, make([]int64, d))
+	}
+	chunk := (hi - lo + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wlo := lo + w*chunk
+		whi := wlo + chunk
+		if whi > hi {
+			whi = hi
+		}
+		if wlo >= whi {
+			e.wrecs[w] = e.wrecs[w][:0]
+			e.wbufs[w] = e.wbufs[w][:0]
+			continue
+		}
+		wg.Add(1)
+		go func(w, wlo, whi int) {
+			defer wg.Done()
+			recs := e.wrecs[w][:0]
+			buf := e.wbufs[w][:0]
+			scratch := e.wscratch[w]
+			nt := len(rs.net.trans)
+			for head := wlo; head < whi; head++ {
+				cur := rs.set.At(head)
+				for ti := 0; ti < nt; ti++ {
+					if !e.idx.FireInto(ti, cur, scratch) {
+						continue
+					}
+					if e.budget.MaxAgents > 0 && sumCounts(scratch) > e.budget.MaxAgents {
+						recs = append(recs, fireRec{head: int32(head), ti: int32(ti), over: true})
+						continue
+					}
+					recs = append(recs, fireRec{head: int32(head), ti: int32(ti), hash: conf.HashCounts(scratch)})
+					buf = append(buf, scratch...)
+				}
+			}
+			e.wrecs[w] = recs
+			e.wbufs[w] = buf
+		}(w, wlo, whi)
+	}
+	wg.Wait()
+
+	for w := 0; w < workers; w++ {
+		wlo := lo + w*chunk
+		whi := wlo + chunk
+		if whi > hi {
+			whi = hi
+		}
+		if wlo >= whi {
+			continue
+		}
+		recs := e.wrecs[w]
+		buf := e.wbufs[w]
+		ri, off := 0, 0
+		for head := wlo; head < whi; head++ {
+			rs.checkEdgeCapacity(len(rs.net.trans))
+			for ri < len(recs) && int(recs[ri].head) == head {
+				rec := recs[ri]
+				ri++
+				if rec.over {
+					rs.Complete = false
+					continue
+				}
+				counts := buf[off*d : (off+1)*d]
+				off++
+				if !e.resolve(rec.head, rec.ti, counts, rec.hash) {
+					return false
+				}
+			}
+			rs.edgeOff = append(rs.edgeOff, int32(len(rs.edgeTo)))
+		}
+	}
+	return true
+}
+
+const maxInt32 = 1<<31 - 1
+
+// checkEdgeCapacity fails loudly if recording one more node's edges
+// could overflow the int32 CSR offsets — a closure past 2³¹ edges is
+// beyond any realistic budget (and memory), but it must not wrap
+// silently.
+func (rs *ReachSet) checkEdgeCapacity(nt int) {
+	if len(rs.edgeTo) > maxInt32-nt {
+		panic("petri: closure exceeds int32 edge capacity")
+	}
+}
+
+// finalizeEdges pads the CSR offset array for nodes that were never
+// expanded (truncated frontiers), so it always has Len()+1 entries.
+func (rs *ReachSet) finalizeEdges() {
+	for len(rs.edgeOff) <= rs.set.Len() {
+		rs.edgeOff = append(rs.edgeOff, int32(len(rs.edgeTo)))
+	}
+}
+
+func sumCounts(c []int64) int64 {
+	var total int64
+	for _, v := range c {
+		total += v
+	}
+	return total
 }
 
 func errBudget(op string, visited int) error {
@@ -125,50 +358,65 @@ func (e *BudgetError) Error() string {
 // Unwrap makes errors.Is(err, ErrBudget) succeed.
 func (e *BudgetError) Unwrap() error { return ErrBudget }
 
-func (rs *ReachSet) add(c conf.Config, parent, via, depth int) int {
-	id := len(rs.configs)
-	rs.configs = append(rs.configs, c)
-	rs.index[c.Key()] = id
-	rs.edges = append(rs.edges, nil)
-	rs.parent = append(rs.parent, parent)
-	rs.via = append(rs.via, via)
-	rs.depth = append(rs.depth, depth)
-	return id
-}
-
-func (rs *ReachSet) lookup(c conf.Config) (int, bool) {
-	id, ok := rs.index[c.Key()]
-	return id, ok
-}
-
 // Len returns the number of configurations in the closure.
-func (rs *ReachSet) Len() int { return len(rs.configs) }
+func (rs *ReachSet) Len() int { return rs.set.Len() }
 
-// Config returns the configuration with the given node id.
-func (rs *ReachSet) Config(id int) conf.Config { return rs.configs[id] }
+// Config returns the configuration with the given node id as a
+// zero-copy view into the closure arena. The counts must not be
+// mutated; the view stays valid for the life of the ReachSet.
+func (rs *ReachSet) Config(id int) conf.Config {
+	return conf.View(rs.net.space, rs.set.At(id))
+}
 
 // ID returns the node id of a configuration, if present.
-func (rs *ReachSet) ID(c conf.Config) (int, bool) { return rs.lookup(c) }
+func (rs *ReachSet) ID(c conf.Config) (int, bool) {
+	counts := c.RawCounts()
+	if len(counts) != rs.set.Width() {
+		return 0, false
+	}
+	return rs.set.Lookup(counts)
+}
 
 // Contains reports whether the configuration is in the closure.
 func (rs *ReachSet) Contains(c conf.Config) bool {
-	_, ok := rs.lookup(c)
+	_, ok := rs.ID(c)
 	return ok
 }
 
-// Edges returns the outgoing explored edges of a node.
-func (rs *ReachSet) Edges(id int) []Edge { return rs.edges[id] }
+// NumEdges returns the number of explored edges.
+func (rs *ReachSet) NumEdges() int { return len(rs.edgeTo) }
+
+// Edges returns the outgoing explored edges of a node. The slice is
+// freshly allocated; hot paths should use CSR instead.
+func (rs *ReachSet) Edges(id int) []Edge {
+	lo, hi := rs.edgeOff[id], rs.edgeOff[id+1]
+	if lo == hi {
+		return nil
+	}
+	out := make([]Edge, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, Edge{Trans: int(rs.edgeVia[i]), To: int(rs.edgeTo[i])})
+	}
+	return out
+}
+
+// CSR returns the closure's edge structure as a compressed sparse row
+// graph sharing the ReachSet's backing arrays — no per-node slices are
+// allocated. Node ids match the closure's.
+func (rs *ReachSet) CSR() graph.CSR {
+	return graph.CSR{Off: rs.edgeOff, Dst: rs.edgeTo}
+}
 
 // Depth returns the BFS depth of a node (shortest word length from the
 // root).
-func (rs *ReachSet) Depth(id int) int { return rs.depth[id] }
+func (rs *ReachSet) Depth(id int) int { return int(rs.depth[id]) }
 
 // PathTo returns a shortest firing word (as transition indices) from the
 // root to the given node.
 func (rs *ReachSet) PathTo(id int) []int {
 	var rev []int
-	for cur := id; rs.parent[cur] >= 0; cur = rs.parent[cur] {
-		rev = append(rev, rs.via[cur])
+	for cur := id; rs.parent[cur] >= 0; cur = int(rs.parent[cur]) {
+		rev = append(rev, int(rs.via[cur]))
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
@@ -177,26 +425,29 @@ func (rs *ReachSet) PathTo(id int) []int {
 }
 
 // ForEach calls fn for every node id in BFS order, stopping early if fn
-// returns false.
+// returns false. The configurations are arena views, valid for the life
+// of the ReachSet.
 func (rs *ReachSet) ForEach(fn func(id int, c conf.Config) bool) {
-	for id, c := range rs.configs {
-		if !fn(id, c) {
+	for id := 0; id < rs.set.Len(); id++ {
+		if !fn(id, rs.Config(id)) {
 			return
 		}
 	}
 }
 
-// AdjacencyLists returns the closure's edge structure as plain adjacency
-// lists for graph algorithms (SCC, condensation).
+// AdjacencyLists returns the closure's edge structure as plain
+// adjacency lists. It allocates one slice per node; graph algorithms
+// on the hot path should use CSR instead.
 func (rs *ReachSet) AdjacencyLists() [][]int {
-	adj := make([][]int, len(rs.configs))
-	for id, es := range rs.edges {
-		if len(es) == 0 {
+	adj := make([][]int, rs.set.Len())
+	for id := range adj {
+		lo, hi := rs.edgeOff[id], rs.edgeOff[id+1]
+		if lo == hi {
 			continue
 		}
-		adj[id] = make([]int, 0, len(es))
-		for _, e := range es {
-			adj[id] = append(adj[id], e.To)
+		adj[id] = make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			adj[id] = append(adj[id], int(rs.edgeTo[i]))
 		}
 	}
 	return adj

@@ -15,6 +15,9 @@ package verify
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/conf"
 	"repro/internal/core"
@@ -23,7 +26,9 @@ import (
 )
 
 // Predicate is a predicate φ: ℕ^I → {0, 1} evaluated on input
-// configurations.
+// configurations. Range calls it from concurrent workers, so it must
+// be safe for concurrent use (pure functions of the input, like
+// CountingPredicate, trivially are).
 type Predicate func(input conf.Config) bool
 
 // CountingPredicate returns φ_{i≥n} for the named initial state.
@@ -51,7 +56,11 @@ type Report struct {
 	Counterexample *conf.Config
 }
 
-// Input checks stable computation for a single input.
+// Input checks stable computation for a single input. Both
+// reachability passes (who can reach a bad node; who can reach a
+// stable node) run over the closure's shared CSR edge structure: the
+// reverse graph is built once and no per-node adjacency slices are
+// allocated.
 func Input(p *core.Protocol, input conf.Config, pred Predicate, budget petri.Budget) (*Report, error) {
 	expected := pred(input)
 	initial := p.InitialConfig(input)
@@ -59,7 +68,7 @@ func Input(p *core.Protocol, input conf.Config, pred Predicate, budget petri.Bud
 	if err != nil {
 		return nil, fmt.Errorf("verify %v: %w", input, err)
 	}
-	adj := rs.AdjacencyLists()
+	radj := rs.CSR().Reverse()
 
 	// A node is "bad" for output j when its own output set already
 	// violates S_j membership; a node is in S_j iff it cannot reach a
@@ -75,7 +84,7 @@ func Input(p *core.Protocol, input conf.Config, pred Predicate, budget petri.Bud
 			bad = append(bad, id)
 		}
 	}
-	reachesBad := graph.CanReach(adj, bad)
+	reachesBad := graph.ReachableFrom(radj, bad, nil)
 	var stable []int
 	for id := 0; id < rs.Len(); id++ {
 		if !reachesBad[id] {
@@ -90,16 +99,16 @@ func Input(p *core.Protocol, input conf.Config, pred Predicate, budget petri.Bud
 	}
 	if len(stable) == 0 {
 		report.OK = false
-		c := rs.Config(0)
+		c := rs.Config(0).Clone() // detach from the closure arena
 		report.Counterexample = &c
 		return report, nil
 	}
-	canStabilize := graph.CanReach(adj, stable)
+	canStabilize := graph.ReachableFrom(radj, stable, reachesBad)
 	report.OK = true
 	for id := 0; id < rs.Len(); id++ {
 		if !canStabilize[id] {
 			report.OK = false
-			c := rs.Config(id)
+			c := rs.Config(id).Clone() // detach from the closure arena
 			report.Counterexample = &c
 			break
 		}
@@ -130,6 +139,11 @@ func (r *RangeResult) FirstFailure() *Report {
 // Range verifies every input with total agent count in [minTotal,
 // maxTotal] over the protocol's initial states: the bounded analogue of
 // the well-specification problem for the given predicate.
+//
+// Inputs are independent, so they fan out to a bounded worker pool
+// (GOMAXPROCS workers, the sim.RunMany pattern); reports are collected
+// in enumeration order and the first error by that order is returned,
+// so results and errors are deterministic regardless of scheduling.
 func Range(p *core.Protocol, pred Predicate, minTotal, maxTotal int64, budget petri.Budget) (*RangeResult, error) {
 	if minTotal < 0 || maxTotal < minTotal {
 		return nil, errors.New("verify: invalid total range")
@@ -138,34 +152,93 @@ func Range(p *core.Protocol, pred Predicate, minTotal, maxTotal int64, budget pe
 	if err != nil {
 		return nil, err
 	}
-	result := &RangeResult{}
+	var inputs []conf.Config
 	for total := minTotal; total <= maxTotal; total++ {
-		var inputs []conf.Config
 		if err := conf.EnumerateTotal(inputSpace, total, func(c conf.Config) bool {
 			inputs = append(inputs, c.Clone())
 			return true
 		}); err != nil {
 			return nil, err
 		}
-		for _, ic := range inputs {
-			embedded, err := ic.Embed(p.Space())
-			if err != nil {
-				return nil, err
+	}
+	reports := make([]*Report, len(inputs))
+	errs := make([]error, len(inputs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers <= 1 {
+		for i, ic := range inputs {
+			reports[i], errs[i] = verifyOne(p, ic, pred, budget)
+			if errs[i] != nil {
+				return nil, errs[i]
 			}
-			report, err := Input(p, embedded, pred, budget)
-			if err != nil {
-				return nil, err
-			}
-			if report.Configs > result.MaxConfigs {
-				result.MaxConfigs = report.Configs
-			}
-			result.Reports = append(result.Reports, *report)
-			if !report.OK {
-				result.Failures = append(result.Failures, len(result.Reports)-1)
-			}
+		}
+	} else {
+		// minFailed is the smallest input index that errored so far;
+		// workers skip only jobs above it, so every input below the
+		// first failure is still verified and the first-by-index error
+		// below stays exactly the sequential one — only work past the
+		// failure point is saved.
+		var minFailed atomic.Int64
+		minFailed.Store(int64(len(inputs)))
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					if int64(i) > minFailed.Load() {
+						continue
+					}
+					reports[i], errs[i] = verifyOne(p, inputs[i], pred, budget)
+					if errs[i] != nil {
+						for {
+							cur := minFailed.Load()
+							if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+								break
+							}
+						}
+					}
+				}
+			}()
+		}
+		for i := range inputs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	result := &RangeResult{}
+	for i, report := range reports {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if report == nil {
+			// Unreachable: a nil report means the job was skipped after
+			// an earlier-index failure, which the loop returns first.
+			return nil, errors.New("verify: internal: input skipped without error")
+		}
+		if report.Configs > result.MaxConfigs {
+			result.MaxConfigs = report.Configs
+		}
+		result.Reports = append(result.Reports, *report)
+		if !report.OK {
+			result.Failures = append(result.Failures, len(result.Reports)-1)
 		}
 	}
 	return result, nil
+}
+
+// verifyOne embeds one enumerated input into the protocol space and
+// verifies it.
+func verifyOne(p *core.Protocol, ic conf.Config, pred Predicate, budget petri.Budget) (*Report, error) {
+	embedded, err := ic.Embed(p.Space())
+	if err != nil {
+		return nil, err
+	}
+	return Input(p, embedded, pred, budget)
 }
 
 // Counting verifies a protocol against φ_{i≥n} for all input sizes

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"errors"
+	"runtime"
 	"testing"
 
 	"repro/internal/conf"
@@ -143,5 +144,51 @@ func TestRangeValidation(t *testing.T) {
 	}
 	if _, err := Counting(p, "p", 2, 3, budget); err == nil {
 		t.Error("wrong counting state accepted")
+	}
+}
+
+// Range fans inputs out to a worker pool; reports must come back in
+// enumeration order with identical content regardless of parallelism.
+func TestRangeParallelDeterminism(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	seq, seqErr := Counting(p, "i", 4, 7, budget)
+	runtime.GOMAXPROCS(4)
+	par, parErr := Counting(p, "i", 4, 7, budget)
+	runtime.GOMAXPROCS(prev)
+	if seqErr != nil || parErr != nil {
+		t.Fatalf("errs: sequential %v, parallel %v", seqErr, parErr)
+	}
+	if len(seq.Reports) != len(par.Reports) || seq.MaxConfigs != par.MaxConfigs {
+		t.Fatalf("shape: sequential (%d, %d), parallel (%d, %d)",
+			len(seq.Reports), seq.MaxConfigs, len(par.Reports), par.MaxConfigs)
+	}
+	for i := range seq.Reports {
+		s, q := seq.Reports[i], par.Reports[i]
+		if !s.Input.Equal(q.Input) || s.Expected != q.Expected || s.OK != q.OK ||
+			s.Configs != q.Configs || s.StableConfigs != q.StableConfigs {
+			t.Fatalf("report %d differs: sequential %+v, parallel %+v", i, s, q)
+		}
+	}
+	if len(seq.Failures) != len(par.Failures) {
+		t.Fatalf("failures differ: %v vs %v", seq.Failures, par.Failures)
+	}
+}
+
+// Budget errors must surface deterministically from the pool: the
+// first failing input in enumeration order wins.
+func TestRangeParallelBudgetError(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	_, err = Counting(p, "i", 4, 7, petri.Budget{MaxConfigs: 3})
+	if !errors.Is(err, petri.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
 	}
 }
