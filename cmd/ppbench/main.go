@@ -43,23 +43,14 @@ func main() {
 	}
 }
 
-// timing is one experiment's measured cost, in the spirit of go test
-// -bench output: one "op" is one full regeneration of the experiment
-// table.
-type timing struct {
-	Name     string `json:"name"`
-	NsPerOp  int64  `json:"ns_op"`
-	AllocsOp uint64 `json:"allocs_op"`
-}
-
-// artifact is the -json document: the timings plus the host/commit
-// metadata (embedded hostmeta.Meta) that makes artifacts from
-// different machines comparable.
-type artifact struct {
-	Schema int `json:"schema"` // artifact format version
-	hostmeta.Meta
-	Timings []timing `json:"timings"`
-}
+// timing and artifact are the shared bench-artifact schema
+// (experiments.BenchTiming / BenchArtifact): ppbench writes it,
+// ppsweep merge-bench folds files of it from many hosts into one
+// trajectory table.
+type (
+	timing   = experiments.BenchTiming
+	artifact = experiments.BenchArtifact
+)
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppbench", flag.ContinueOnError)
@@ -115,7 +106,7 @@ func run(args []string) error {
 		return fmt.Errorf("no experiment matches %v", append(fs.Args(), *runFilter))
 	}
 	if *jsonPath != "" {
-		art := artifact{Schema: 1, Meta: hostmeta.Collect()}
+		art := artifact{Schema: experiments.BenchArtifactSchema, Meta: hostmeta.Collect()}
 		art.Timings = timings
 		data, err := json.MarshalIndent(art, "", "  ")
 		if err != nil {

@@ -1,25 +1,41 @@
 // Command ppsweep orchestrates sharded population-protocol sweeps: it
-// plans a sweep into self-contained shards, runs one shard (the worker
-// role, one invocation per shard, on any host), and merges the partial
-// artifacts back into exactly the single-process sweep result.
+// plans a sweep into self-contained shards (cost-weighted so large-x
+// shards don't straggle), runs one shard (the worker role, one
+// invocation per shard, on any host), drives a whole fleet through a
+// shared-directory dispatch queue with lease-based retry and
+// crash resume, and merges the partial artifacts back into exactly
+// the single-process sweep result.
 //
 // Usage:
 //
 //	ppsweep plan -protocol flock -param 8 -sizes 16,64,256 -trials 20 \
-//	        -seed 1 -shards 4 -o plan.json
+//	        -seed 1 -shards 4 -cost auto -o plan.json
 //	ppsweep run -plan plan.json -shard s002 -o part-s002.json
+//	ppsweep run -plan plan.json -shard s002 -partials cells/   # resumable
+//	ppsweep dispatch -plan plan.json -dir queue/ -o merged.json
 //	ppsweep merge -o merged.json part-*.json
+//	ppsweep merge-bench BENCH_PR1.json BENCH_PR2.json BENCH_PR4.json
 //
 // plan partitions the (size × trial) grid deterministically: the same
 // flags always produce the identical manifest, so independent hosts
-// can re-derive the plan instead of shipping it. run executes one
-// shard's trials with positionally derived seeds and writes a partial
-// artifact stamped with host metadata; SIGINT cancels promptly,
-// leaving no artifact. merge verifies the artifacts belong to one
-// sweep, detects overlapping or missing shards and mixed schema
-// versions, folds the mergeable accumulators, and writes a merged
-// document that is bit-identical to what an unsharded run of the same
-// spec would have produced.
+// can re-derive the plan instead of shipping it. -cost weighs cells
+// by expected work (auto picks ~x for the exact schedulers, ~log x
+// for countbatch; uniform reproduces equal trial counts) and cuts
+// shards at equal cost. run executes one shard's trials with
+// positionally derived seeds and writes a partial artifact stamped
+// with host metadata; SIGINT cancels promptly, leaving no artifact;
+// with -partials each completed cell is persisted by atomic rename
+// and a rerun resumes from the surviving cells. dispatch runs one
+// queue worker per invocation: start it on every host against a
+// shared directory and the fleet leases shards, heartbeats, steals
+// expired leases from dead workers (per-shard attempt cap), resumes
+// from their cell partials, and — when every shard has an artifact —
+// merges. merge verifies the artifacts belong to one sweep, detects
+// overlapping or missing shards and mixed schema versions, folds the
+// mergeable accumulators, and writes a merged document that is
+// bit-identical to what an unsharded run of the same spec would have
+// produced. merge-bench folds ppbench -json timing artifacts from
+// many hosts or PRs into one per-experiment trajectory table.
 package main
 
 import (
@@ -31,9 +47,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/registry"
 	"repro/internal/shard"
 )
@@ -56,10 +75,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return runPlan(args[1:], out)
 	case "run":
 		return runShard(ctx, args[1:], out)
+	case "dispatch":
+		return runDispatch(ctx, args[1:], out)
 	case "merge":
 		return runMerge(args[1:], out)
+	case "merge-bench":
+		return runMergeBench(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (have plan, run, merge)", args[0])
+		return fmt.Errorf("unknown subcommand %q (have plan, run, dispatch, merge, merge-bench)", args[0])
 	}
 }
 
@@ -78,6 +101,7 @@ func runPlan(args []string, out io.Writer) error {
 		batch     = fs.Int("batch", 0, "batched batch size / countbatch aggregation threshold")
 		eps       = fs.Float64("eps", 0, "countbatch drift tolerance")
 		shards    = fs.Int("shards", 1, "number of shards to plan")
+		cost      = fs.String("cost", "auto", "cell cost model: auto (scheduler-aware), uniform (equal trial counts), linear, log")
 		outPath   = fs.String("o", "plan.json", "manifest output path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -105,17 +129,21 @@ func runPlan(args []string, out io.Writer) error {
 	if _, _, err := sw.Build(); err != nil {
 		return err
 	}
-	m, err := shard.Plan(sw, *shards)
+	model, err := shard.CostByName(*cost, sw.Scheduler)
+	if err != nil {
+		return err
+	}
+	m, err := shard.PlanCost(sw, *shards, model)
 	if err != nil {
 		return err
 	}
 	if err := writeJSON(*outPath, m); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "planned %d shards over %d sizes × %d trials -> %s\n",
-		len(m.Shards), len(sw.Sizes), sw.Trials, *outPath)
+	fmt.Fprintf(out, "planned %d shards over %d sizes × %d trials (cost model %s, imbalance %.2f) -> %s\n",
+		len(m.Shards), len(sw.Sizes), sw.Trials, model.Name(), m.Imbalance(model), *outPath)
 	for _, s := range m.Shards {
-		fmt.Fprintf(out, "  %s: %d trials in %d cells\n", s.ID, s.Trials(), len(s.Cells))
+		fmt.Fprintf(out, "  %s: %d trials in %d cells, cost %d\n", s.ID, s.Trials(), len(s.Cells), s.Cost(model))
 	}
 	return nil
 }
@@ -126,6 +154,7 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 		planPath = fs.String("plan", "plan.json", "manifest path (from ppsweep plan)")
 		shardID  = fs.String("shard", "", "shard id to execute, e.g. s002")
 		workers  = fs.Int("workers", 0, "trial worker pool bound (0 = GOMAXPROCS)")
+		partials = fs.String("partials", "", "resume directory: persist each cell on completion (atomic rename) and skip cells already present")
 		outPath  = fs.String("o", "", "artifact output path (default part-<shard>.json)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -141,7 +170,13 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	art, err := shard.Run(ctx, &m, *shardID, *workers)
+	var art *shard.Artifact
+	var err error
+	if *partials != "" {
+		art, err = shard.RunResumable(ctx, &m, *shardID, *workers, *partials)
+	} else {
+		art, err = shard.Run(ctx, &m, *shardID, *workers)
+	}
 	if err != nil {
 		return err
 	}
@@ -157,6 +192,67 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 		trials += pt.Stats.Trials
 	}
 	fmt.Fprintf(out, "shard %s: %d trials over %d cells -> %s\n", *shardID, trials, len(art.Points), path)
+	return nil
+}
+
+// runDispatch is one worker of a shared-directory shard queue: it
+// leases open shards, executes them resumably (cell partials under
+// <dir>/partials), steals expired leases from dead or wedged peers,
+// and — once every shard of the plan has an artifact — optionally
+// merges. Start one per host against a shared directory.
+func runDispatch(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppsweep dispatch", flag.ContinueOnError)
+	var (
+		planPath    = fs.String("plan", "plan.json", "manifest path (from ppsweep plan)")
+		dir         = fs.String("dir", "", "shared queue directory (leases, artifacts, cell partials)")
+		workers     = fs.Int("workers", 0, "trial worker pool bound (0 = GOMAXPROCS)")
+		leaseTTL    = fs.Duration("lease-ttl", time.Minute, "steal a shard whose lease heartbeat is older than this (must exceed cross-host clock skew)")
+		heartbeat   = fs.Duration("heartbeat", 0, "lease refresh period (0 = lease-ttl/4)")
+		maxAttempts = fs.Int("max-attempts", 3, "per-shard acquisition cap before the shard is marked failed")
+		poll        = fs.Duration("poll", 500*time.Millisecond, "queue rescan period while peers hold every open shard")
+		failAfter   = fs.Int("fail-after-cells", 0, "TESTING: die after persisting N cells, leaving lease and partials (simulates SIGKILL)")
+		outPath     = fs.String("o", "", "also merge the drained queue to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return flagErr(err)
+	}
+	if *dir == "" {
+		return errors.New("dispatch: -dir is required")
+	}
+	var m shard.Manifest
+	if err := readJSON(*planPath, &m); err != nil {
+		return err
+	}
+	completed, err := shard.Dispatch(ctx, &m, shard.DispatchOptions{
+		Dir:            *dir,
+		Workers:        *workers,
+		LeaseTTL:       *leaseTTL,
+		Heartbeat:      *heartbeat,
+		MaxAttempts:    *maxAttempts,
+		Poll:           *poll,
+		FailAfterCells: *failAfter,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dispatch drained: this worker completed %d of %d shards %v\n",
+		len(completed), len(m.Shards), completed)
+	if *outPath == "" {
+		return nil
+	}
+	arts, err := shard.CollectArtifacts(*dir, &m)
+	if err != nil {
+		return err
+	}
+	merged, err := shard.Merge(arts)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(*outPath, merged); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "merged %d artifacts -> %s\n", len(arts), *outPath)
+	printMergedTable(out, merged)
 	return nil
 }
 
@@ -185,6 +281,11 @@ func runMerge(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "merged %d artifacts -> %s\n", len(arts), *outPath)
+	printMergedTable(out, merged)
+	return nil
+}
+
+func printMergedTable(out io.Writer, merged *shard.Merged) {
 	fmt.Fprintf(out, "%10s %8s %10s %8s %14s %14s\n",
 		"x", "trials", "converged", "correct", "mean steps", "±95% CI")
 	for _, pt := range merged.Points {
@@ -192,6 +293,45 @@ func runMerge(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%10d %8d %10d %8d %14.1f %14.1f\n",
 			pt.X, st.Trials, st.Converged, st.Correct, st.MeanSteps(), st.HalfCI95Steps())
 	}
+}
+
+// runMergeBench folds ppbench -json timing artifacts from many hosts
+// or PRs into one per-experiment trajectory table (columns in
+// argument order — pass oldest first).
+func runMergeBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppsweep merge-bench", flag.ContinueOnError)
+	outPath := fs.String("o", "", "also write the merged trajectory as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return flagErr(err)
+	}
+	if fs.NArg() == 0 {
+		return errors.New("merge-bench: no timing artifact files given")
+	}
+	labels := make([]string, 0, fs.NArg())
+	arts := make([]*experiments.BenchArtifact, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		a, err := experiments.ParseBenchArtifact(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		labels = append(labels, strings.TrimSuffix(filepath.Base(path), ".json"))
+		arts = append(arts, a)
+	}
+	tr, err := experiments.MergeBench(labels, arts)
+	if err != nil {
+		return err
+	}
+	if *outPath != "" {
+		if err := writeJSON(*outPath, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "merged %d timing artifacts -> %s\n", len(arts), *outPath)
+	}
+	fmt.Fprint(out, tr.Render())
 	return nil
 }
 

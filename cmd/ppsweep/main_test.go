@@ -128,6 +128,157 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+// The merge error paths, driven from the CLI: a missing shard (gap),
+// a shard delivered twice (overlap — see also
+// TestMergeRejectsDuplicateArtifact), a mixed schema version, and an
+// artifact from a different sweep must all fail with a diagnostic,
+// not a silently wrong table.
+func TestMergeErrorPathsCLI(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 2, "plan.json")...)
+	plan := filepath.Join(dir, "plan.json")
+	s0 := filepath.Join(dir, "part-s000.json")
+	s1 := filepath.Join(dir, "part-s001.json")
+	mustRun(t, "run", "-plan", plan, "-shard", "s000", "-o", s0)
+	mustRun(t, "run", "-plan", plan, "-shard", "s001", "-o", s1)
+
+	rewrite := func(t *testing.T, path string, mutate func(*shard.Artifact)) string {
+		t.Helper()
+		var a shard.Artifact
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &a); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&a)
+		out := filepath.Join(t.TempDir(), "mutated.json")
+		data, err = json.MarshalIndent(&a, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"gap", []string{s0}, "no partial results"},
+		{"overlap", []string{s0, s1, s1}, "overlap"},
+		{"mixed schema", []string{s0, rewrite(t, s1, func(a *shard.Artifact) { a.Schema++ })}, "schema"},
+		{"foreign sweep", []string{s0, rewrite(t, s1, func(a *shard.Artifact) { a.Sweep.Seed++ })}, "different sweep"},
+	}
+	for _, tc := range cases {
+		args := append([]string{"merge", "-o", filepath.Join(t.TempDir(), "m.json")}, tc.args...)
+		err := run(context.Background(), args, &strings.Builder{})
+		if err == nil {
+			t.Errorf("%s: merge accepted bad artifact set", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Kill-mid-shard and resume through the CLI: a worker run with
+// -partials that loses its artifact (and one cell) re-runs and
+// produces a byte-identical artifact from the surviving cells.
+func TestRunPartialsResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 1, "plan.json")...)
+	plan := filepath.Join(dir, "plan.json")
+	cells := filepath.Join(dir, "cells")
+	art := filepath.Join(dir, "part-s000.json")
+	mustRun(t, "run", "-plan", plan, "-shard", "s000", "-partials", cells, "-o", art)
+	full, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no cell partials persisted")
+	}
+	// Simulate a worker killed before finishing: the artifact and one
+	// cell are lost, the other cells survive.
+	if err := os.Remove(art); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(cells, entries[0].Name())); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, "run", "-plan", plan, "-shard", "s000", "-partials", cells, "-o", art)
+	resumed, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resumed) != string(full) {
+		t.Errorf("resumed artifact differs from uninterrupted run:\n%s\nvs\n%s", resumed, full)
+	}
+}
+
+// The dispatcher drill, CLI end to end: worker 1 dies mid-shard
+// (fault injection), worker 2 steals the expired lease, resumes from
+// the cell partials, drains the queue and merges — byte-identically
+// to the plain 2-shard plan/run/merge pipeline.
+func TestDispatchKillRedispatchCLI(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 2, "plan.json")...)
+	plan := filepath.Join(dir, "plan.json")
+	queue := filepath.Join(dir, "queue")
+	if err := run(context.Background(),
+		[]string{"dispatch", "-plan", plan, "-dir", queue, "-fail-after-cells", "1"},
+		&strings.Builder{}); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("fault-injected dispatch: want injected failure, got %v", err)
+	}
+	merged := filepath.Join(dir, "merged-dispatch.json")
+	mustRun(t, "dispatch", "-plan", plan, "-dir", queue, "-lease-ttl", "1ns", "-o", merged)
+
+	// Reference: the ordinary worker pipeline of the same plan.
+	mustRun(t, "run", "-plan", plan, "-shard", "s000", "-o", filepath.Join(dir, "ref-s000.json"))
+	mustRun(t, "run", "-plan", plan, "-shard", "s001", "-o", filepath.Join(dir, "ref-s001.json"))
+	ref := filepath.Join(dir, "merged-ref.json")
+	mustRun(t, "merge", "-o", ref,
+		filepath.Join(dir, "ref-s000.json"), filepath.Join(dir, "ref-s001.json"))
+	a, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("dispatched merge differs from plan/run/merge pipeline:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// merge-bench folds the repo's committed timing artifacts into one
+// trajectory table.
+func TestMergeBenchCLI(t *testing.T) {
+	dir := t.TempDir()
+	outJSON := filepath.Join(dir, "traj.json")
+	out := mustRun(t, "merge-bench", "-o", outJSON,
+		"../../BENCH_PR1.json", "../../BENCH_PR2.json", "../../BENCH_PR4.json")
+	for _, want := range []string{"experiment", "E2", "BENCH_PR1", "BENCH_PR4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merge-bench table missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(outJSON); err != nil {
+		t.Errorf("merged trajectory JSON not written: %v", err)
+	}
+	if err := run(context.Background(), []string{"merge-bench"}, &strings.Builder{}); err == nil {
+		t.Error("merge-bench with no files accepted")
+	}
+}
+
 func TestRunUnknownShardID(t *testing.T) {
 	dir := t.TempDir()
 	mustRun(t, planArgs(dir, 2, "plan.json")...)

@@ -1,0 +1,71 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The package documentation of the core packages is part of the
+// cross-PR contract: it is where the invariants the engines rely on
+// (positional seed derivation, mergeable accumulators, arena/CSR
+// ownership, deterministic parallel merge order) are written down for
+// the next refactor to honor. This lint fails when a package loses
+// its doc comment or the doc stops naming its invariants.
+func TestPackageDocsStateInvariants(t *testing.T) {
+	requirements := map[string][]string{
+		// The seed contract and accumulator mergeability (PRs 1–3).
+		"internal/sim": {"positional", "mergeable", "DeriveSeed", "associative"},
+		// The sharding exactness contract and the dispatch layer (PRs 3, 5).
+		"internal/shard": {"positional", "mergeable", "bit-identical", "lease"},
+		// Config value semantics and CountSet arena ownership (PRs 1, 4).
+		"internal/conf": {"InPlace", "arena", "insertion order"},
+		// Arena/CSR ownership and deterministic parallel BFS (PR 4).
+		"internal/petri": {"arena", "CSR", "zero-copy", "worker count"},
+		// Bounded exactness and deterministic report order (PR 4).
+		"internal/verify": {"exact", "enumeration order", "budget"},
+	}
+	for dir, wants := range requirements {
+		doc := packageDoc(t, dir)
+		if doc == "" {
+			t.Errorf("%s: no package doc comment", dir)
+			continue
+		}
+		if len(doc) < 300 {
+			t.Errorf("%s: package doc is %d bytes — too short to document its invariants", dir, len(doc))
+		}
+		for _, want := range wants {
+			if !strings.Contains(doc, want) {
+				t.Errorf("%s: package doc no longer mentions %q — if the invariant moved, move its documentation (and this lint) with it", dir, want)
+			}
+		}
+	}
+}
+
+// packageDoc returns the package-level doc comment of the (single)
+// package in dir, concatenated across files in case of split docs.
+func packageDoc(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var sb strings.Builder
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if f.Doc != nil {
+			sb.WriteString(f.Doc.Text())
+		}
+	}
+	return sb.String()
+}

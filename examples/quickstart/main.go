@@ -1,14 +1,19 @@
 // Quickstart: build the paper's Example 4.2 protocol (6 states, width
-// 2, n leaders), check it stably computes (i ≥ n) for small inputs, and
-// watch a random execution converge.
+// 2, n leaders), check it stably computes (i ≥ n) for small inputs,
+// watch a random execution converge, and push the same family to 10⁸
+// agents on the count-batched scheduler. The README in this directory
+// walks the CLI equivalents (ppsim -scheduler countbatch -eps, and
+// the 3-command sharded sweep).
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/counting"
 	"repro/internal/petri"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/verify"
 )
@@ -50,4 +55,31 @@ func main() {
 		fmt.Printf("x = %d: consensus %v after %d interactions (final %v)\n",
 			x, v, r.LastChange, r.Final)
 	}
+
+	// 4. The same idea at paper scale: power2(26) decides (i ≥ 2²⁶) and
+	// the count-batched scheduler (tau-leaping over transition counts)
+	// carries 10⁸ agents to the absorbing consensus in milliseconds —
+	// the CLI twin is
+	//   ppsim -protocol power2 -param 26 -x 100000000 \
+	//         -scheduler countbatch -eps 0.05 -steps 1000000000 -patience 0
+	big, _, err := registry.Make("power2", 26)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input, err := big.Input(map[string]int64{"i": 100_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	r, err := sim.Run(big, input, sim.Options{
+		Seed:      7,
+		MaxSteps:  1_000_000_000, // whole-run mode: run to the absorbing deadlock
+		Scheduler: sim.CountBatched{Epsilon: 0.05},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := r.ConsensusBool()
+	fmt.Printf("\npower2(26) at x = 10^8: consensus %v after %d interactions in %v (countbatch, eps 0.05)\n",
+		v, r.Steps, time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/hostmeta"
+)
+
+// BenchArtifactSchema versions the ppbench -json timing document.
+const BenchArtifactSchema = 1
+
+// BenchTiming is one experiment's measured cost in a timing artifact,
+// in the spirit of go test -bench output: one "op" is one full
+// regeneration of the experiment table.
+type BenchTiming struct {
+	Name     string `json:"name"`
+	NsPerOp  int64  `json:"ns_op"`
+	AllocsOp uint64 `json:"allocs_op"`
+}
+
+// BenchArtifact is the ppbench -json document: per-experiment timings
+// plus the host/commit metadata (embedded hostmeta.Meta, flattened
+// into the JSON object) that makes artifacts from different machines
+// and commits comparable. The committed BENCH_PR*.json files and the
+// per-PR CI uploads use this schema; MergeBench folds any set of them
+// into one trajectory table.
+type BenchArtifact struct {
+	Schema int `json:"schema"`
+	hostmeta.Meta
+	Timings []BenchTiming `json:"timings"`
+}
+
+// BenchColumn labels one artifact's column in a trajectory table.
+type BenchColumn struct {
+	// Label is the caller-chosen column name — typically the file name
+	// or PR tag the artifact came from.
+	Label string `json:"label"`
+	// Host echoes the artifact's provenance stamp.
+	Host hostmeta.Meta `json:"host"`
+}
+
+// BenchRow is one experiment's timing trajectory across the merged
+// artifacts: NsPerOp[i] and AllocsOp[i] belong to column i, with -1
+// (and the max uint64) marking artifacts that did not time this
+// experiment (partial runs via ppbench -run on shard hosts).
+type BenchRow struct {
+	Name     string   `json:"name"`
+	NsPerOp  []int64  `json:"ns_op"`
+	AllocsOp []uint64 `json:"allocs_op"`
+}
+
+// BenchMissing is the NsPerOp sentinel for "this artifact did not
+// time this experiment".
+const BenchMissing = int64(-1)
+
+// BenchTrajectory is the fan-in of timing artifacts from many hosts
+// or PRs: one column per artifact (caller order preserved — pass
+// artifacts oldest first to read left-to-right history), one row per
+// experiment (first-seen order, so E1..E11 stay in index order when
+// the first artifact ran everything).
+type BenchTrajectory struct {
+	Schema  int           `json:"schema"`
+	Columns []BenchColumn `json:"columns"`
+	Rows    []BenchRow    `json:"rows"`
+}
+
+// MergeBench folds timing artifacts into one trajectory table. Unlike
+// the sweep merge there is no exactness contract — wall times are not
+// mergeable accumulators — so the fold is a join, not an aggregation:
+// it refuses unknown schemas and duplicate experiment names within
+// one artifact, and marks experiments an artifact skipped rather than
+// inventing values.
+func MergeBench(labels []string, arts []*BenchArtifact) (*BenchTrajectory, error) {
+	if len(arts) == 0 {
+		return nil, fmt.Errorf("experiments: no timing artifacts to merge")
+	}
+	if len(labels) != len(arts) {
+		return nil, fmt.Errorf("experiments: %d labels for %d artifacts", len(labels), len(arts))
+	}
+	tr := &BenchTrajectory{Schema: BenchArtifactSchema}
+	rowIdx := make(map[string]int)
+	for col, a := range arts {
+		if a.Schema != BenchArtifactSchema {
+			return nil, fmt.Errorf("experiments: artifact %q has schema %d, this build understands %d",
+				labels[col], a.Schema, BenchArtifactSchema)
+		}
+		tr.Columns = append(tr.Columns, BenchColumn{Label: labels[col], Host: a.Meta})
+		seen := make(map[string]bool, len(a.Timings))
+		for _, tm := range a.Timings {
+			if seen[tm.Name] {
+				return nil, fmt.Errorf("experiments: artifact %q times %s twice", labels[col], tm.Name)
+			}
+			seen[tm.Name] = true
+			i, ok := rowIdx[tm.Name]
+			if !ok {
+				i = len(tr.Rows)
+				rowIdx[tm.Name] = i
+				tr.Rows = append(tr.Rows, BenchRow{Name: tm.Name})
+			}
+			for len(tr.Rows[i].NsPerOp) < col {
+				tr.Rows[i].NsPerOp = append(tr.Rows[i].NsPerOp, BenchMissing)
+				tr.Rows[i].AllocsOp = append(tr.Rows[i].AllocsOp, ^uint64(0))
+			}
+			tr.Rows[i].NsPerOp = append(tr.Rows[i].NsPerOp, tm.NsPerOp)
+			tr.Rows[i].AllocsOp = append(tr.Rows[i].AllocsOp, tm.AllocsOp)
+		}
+	}
+	// Right-pad rows absent from the trailing artifacts.
+	for i := range tr.Rows {
+		for len(tr.Rows[i].NsPerOp) < len(arts) {
+			tr.Rows[i].NsPerOp = append(tr.Rows[i].NsPerOp, BenchMissing)
+			tr.Rows[i].AllocsOp = append(tr.Rows[i].AllocsOp, ^uint64(0))
+		}
+	}
+	return tr, nil
+}
+
+// ParseBenchArtifact decodes one ppbench -json document. The PR1-era
+// format — a bare timing array with no schema or host stamp
+// (BENCH_PR1.json) — is accepted and wrapped, so the repo's whole
+// timing history stays mergeable.
+func ParseBenchArtifact(data []byte) (*BenchArtifact, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var timings []BenchTiming
+		if err := json.Unmarshal(data, &timings); err != nil {
+			return nil, err
+		}
+		return &BenchArtifact{Schema: BenchArtifactSchema, Timings: timings}, nil
+	}
+	var a BenchArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// Render formats the trajectory as an aligned text table: experiments
+// down, artifacts across, wall time per op with the column's commit
+// (short) and hostname in the header. Missing cells render as "—".
+func (tr *BenchTrajectory) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s", "experiment")
+	for _, c := range tr.Columns {
+		fmt.Fprintf(&sb, " %16s", columnTag(c))
+	}
+	sb.WriteByte('\n')
+	for _, r := range tr.Rows {
+		fmt.Fprintf(&sb, "%-28s", r.Name)
+		for _, ns := range r.NsPerOp {
+			if ns == BenchMissing {
+				fmt.Fprintf(&sb, " %16s", "—")
+			} else {
+				fmt.Fprintf(&sb, " %16s", fmtNs(ns))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// columnTag is the short column header: label, plus the commit prefix
+// when the artifact carries one.
+func columnTag(c BenchColumn) string {
+	tag := c.Label
+	if commit := strings.TrimSuffix(c.Host.Commit, "-dirty"); len(commit) >= 7 {
+		tag += "@" + commit[:7]
+	}
+	if len(tag) > 16 {
+		tag = tag[:16]
+	}
+	return tag
+}
+
+// fmtNs renders nanoseconds with a human unit, keeping columns narrow.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

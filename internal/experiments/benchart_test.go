@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/hostmeta"
+)
+
+func benchArt(commit string, timings ...BenchTiming) *BenchArtifact {
+	return &BenchArtifact{
+		Schema:  BenchArtifactSchema,
+		Meta:    hostmeta.Meta{Hostname: "h-" + commit, Commit: commit},
+		Timings: timings,
+	}
+}
+
+func TestMergeBenchJoinsByExperiment(t *testing.T) {
+	a := benchArt("aaaaaaaaaaaa",
+		BenchTiming{Name: "E2", NsPerOp: 5_500_000, AllocsOp: 514},
+		BenchTiming{Name: "E8", NsPerOp: 61_700_000, AllocsOp: 394_849})
+	b := benchArt("bbbbbbbbbbbb",
+		BenchTiming{Name: "E2", NsPerOp: 2_500_000, AllocsOp: 185},
+		BenchTiming{Name: "E8", NsPerOp: 7_700_000, AllocsOp: 859},
+		BenchTiming{Name: "E11", NsPerOp: 9_000_000, AllocsOp: 42})
+	tr, err := MergeBench([]string{"pr2", "pr4"}, []*BenchArtifact{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Columns) != 2 || len(tr.Rows) != 3 {
+		t.Fatalf("got %d columns × %d rows, want 2 × 3", len(tr.Columns), len(tr.Rows))
+	}
+	if tr.Rows[0].Name != "E2" || tr.Rows[1].Name != "E8" || tr.Rows[2].Name != "E11" {
+		t.Errorf("row order %v, want first-seen E2, E8, E11", []string{tr.Rows[0].Name, tr.Rows[1].Name, tr.Rows[2].Name})
+	}
+	if tr.Rows[0].NsPerOp[0] != 5_500_000 || tr.Rows[0].NsPerOp[1] != 2_500_000 {
+		t.Errorf("E2 trajectory %v", tr.Rows[0].NsPerOp)
+	}
+	// E11 is missing from the first artifact: left-padded with the
+	// missing sentinel, never an invented value.
+	if tr.Rows[2].NsPerOp[0] != BenchMissing || tr.Rows[2].NsPerOp[1] != 9_000_000 {
+		t.Errorf("E11 trajectory %v, want [missing, 9ms]", tr.Rows[2].NsPerOp)
+	}
+	table := tr.Render()
+	for _, want := range []string{"E2", "E8", "E11", "5.5ms", "2.5ms", "—", "pr2@aaaaaaa", "pr4@bbbbbbb"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// Trailing artifacts that skipped an experiment leave right-padded
+// missing cells.
+func TestMergeBenchRightPadsMissing(t *testing.T) {
+	a := benchArt("a", BenchTiming{Name: "E2", NsPerOp: 1}, BenchTiming{Name: "E6", NsPerOp: 2})
+	b := benchArt("b", BenchTiming{Name: "E2", NsPerOp: 3}) // shard host: ppbench -run E2
+	tr, err := MergeBench([]string{"full", "shard"}, []*BenchArtifact{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rows[1].Name != "E6" || tr.Rows[1].NsPerOp[1] != BenchMissing {
+		t.Errorf("E6 row %+v, want missing in column 2", tr.Rows[1])
+	}
+}
+
+func TestMergeBenchRejects(t *testing.T) {
+	good := benchArt("a", BenchTiming{Name: "E2", NsPerOp: 1})
+	if _, err := MergeBench(nil, nil); err == nil {
+		t.Error("empty artifact list accepted")
+	}
+	if _, err := MergeBench([]string{"one", "two"}, []*BenchArtifact{good}); err == nil {
+		t.Error("label/artifact count mismatch accepted")
+	}
+	bad := benchArt("b", BenchTiming{Name: "E2", NsPerOp: 1})
+	bad.Schema = BenchArtifactSchema + 1
+	if _, err := MergeBench([]string{"a", "b"}, []*BenchArtifact{good, bad}); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	dup := benchArt("c", BenchTiming{Name: "E2", NsPerOp: 1}, BenchTiming{Name: "E2", NsPerOp: 2})
+	if _, err := MergeBench([]string{"dup"}, []*BenchArtifact{dup}); err == nil {
+		t.Error("duplicate experiment within one artifact accepted")
+	}
+}
+
+// The committed BENCH_PR*.json artifacts must stay parseable and
+// mergeable — they are the repo's own timing history, and the
+// merge-bench CLI's primary input.
+func TestMergeBenchCommittedArtifacts(t *testing.T) {
+	var labels []string
+	var arts []*BenchArtifact
+	for _, name := range []string{"BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR4.json"} {
+		data, err := os.ReadFile("../../" + name)
+		if err != nil {
+			t.Fatalf("committed artifact: %v", err)
+		}
+		a, err := ParseBenchArtifact(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		labels = append(labels, strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json"))
+		arts = append(arts, a)
+	}
+	tr, err := MergeBench(labels, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Columns) != 3 || len(tr.Rows) == 0 {
+		t.Fatalf("trajectory %d columns × %d rows", len(tr.Columns), len(tr.Rows))
+	}
+	if !strings.Contains(tr.Render(), "PR1") {
+		t.Error("rendered trajectory missing PR1 column")
+	}
+}

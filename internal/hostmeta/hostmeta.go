@@ -40,6 +40,22 @@ func Collect() Meta {
 	return m
 }
 
+// Process extends Meta with the identity of one running worker
+// process — the granularity at which shard-dispatch leases are owned
+// and heartbeats are stamped. Two workers on one host differ in PID;
+// successive incarnations of a crashed worker usually do too, but
+// lease protocols must not rely on PID uniqueness across reboots —
+// pair it with a per-acquisition token.
+type Process struct {
+	Meta
+	PID int `json:"pid"`
+}
+
+// CollectProcess gathers the current process's identity.
+func CollectProcess() Process {
+	return Process{Meta: Collect(), PID: os.Getpid()}
+}
+
 // Commit best-efforts the VCS revision: the build info stamp when the
 // binary was built with VCS stamping, otherwise a direct git query
 // (the `go run` path); empty when neither is available. A "-dirty"

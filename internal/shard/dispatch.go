@@ -1,0 +1,423 @@
+package shard
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hostmeta"
+)
+
+// Lease is one shard's ownership record in the dispatch directory: who
+// is executing it, which attempt this is, and when the owner last
+// proved it was alive. Leases are advisory — execution is idempotent
+// (positional seeds, atomic artifact writes), so a lost lease race
+// wastes work but can never corrupt results.
+type Lease struct {
+	Schema int `json:"schema"`
+	// Shard is the shard id the lease covers.
+	Shard string `json:"shard"`
+	// Token is a random per-acquisition value: ownership is proven by
+	// writing the lease and reading one's own token back, never by
+	// host/PID (which can recur across reboots).
+	Token string `json:"token"`
+	// Attempt counts acquisitions of this shard, including steals; it
+	// is how per-shard retry caps survive across dispatcher processes.
+	Attempt int `json:"attempt"`
+	// Owner identifies the worker process for operators (hostname,
+	// PID, build); the protocol itself only trusts Token.
+	Owner hostmeta.Process `json:"owner"`
+	// AcquiredAt / HeartbeatAt are wall-clock stamps from the owner's
+	// host. Expiry compares HeartbeatAt against the local clock, so
+	// LeaseTTL must comfortably exceed cross-host clock skew.
+	AcquiredAt  time.Time `json:"acquired_at"`
+	HeartbeatAt time.Time `json:"heartbeat_at"`
+}
+
+// DispatchOptions configures one dispatcher process.
+type DispatchOptions struct {
+	// Dir is the shared queue directory (local path, NFS mount, fuse
+	// bucket — anything with atomic rename and link semantics). It
+	// holds lease-<shard>.json, part-<shard>.json (completed
+	// artifacts), failed-<shard>.json (terminal markers) and a
+	// partials/ subdirectory of per-cell resume artifacts shared
+	// across attempts.
+	Dir string
+	// Workers bounds each cell's trial pool (0 = GOMAXPROCS).
+	Workers int
+	// LeaseTTL is how stale a lease's heartbeat may be before any
+	// dispatcher may steal the shard. Zero means 1 minute.
+	LeaseTTL time.Duration
+	// Heartbeat is the owner's lease-refresh period. Zero means
+	// LeaseTTL/4.
+	Heartbeat time.Duration
+	// MaxAttempts caps acquisitions per shard: a shard whose lease
+	// expires on its MaxAttempts-th attempt is marked terminally
+	// failed instead of redispatched. Zero means 3.
+	MaxAttempts int
+	// Poll is how long to wait between queue scans when every open
+	// shard is leased elsewhere. Zero means 500ms.
+	Poll time.Duration
+	// FailAfterCells > 0 injects a worker death for tests and CI
+	// drills: the first shard this process acquires fails after
+	// persisting that many fresh cells, leaving its lease to expire
+	// and its partials for the next attempt, exactly like a SIGKILL.
+	FailAfterCells int
+}
+
+func (o DispatchOptions) withDefaults() DispatchOptions {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = time.Minute
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = o.LeaseTTL / 4
+	}
+	if o.Heartbeat <= 0 { // sub-4ns TTLs in steal tests
+		o.Heartbeat = time.Millisecond
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	return o
+}
+
+// DonePath, LeasePath, FailedPath and PartialsDir name the queue
+// directory's per-shard files; exported so CLI layers and tests agree
+// with the dispatcher on layout.
+func DonePath(dir, shardID string) string   { return filepath.Join(dir, "part-"+shardID+".json") }
+func LeasePath(dir, shardID string) string  { return filepath.Join(dir, "lease-"+shardID+".json") }
+func FailedPath(dir, shardID string) string { return filepath.Join(dir, "failed-"+shardID+".json") }
+func PartialsDir(dir string) string         { return filepath.Join(dir, "partials") }
+
+// Dispatch runs one worker of a shared-directory shard queue: it scans
+// the manifest's shards, leases open ones (oldest first), executes
+// them resumably, and keeps scanning until every shard has a completed
+// artifact — including shards other dispatchers are finishing — or a
+// shard fails terminally. Run one Dispatch per host against a shared
+// Dir and the fleet drains the plan with straggler retry and
+// crash resume; run it alone and it degrades to a sequential sweep.
+//
+// The protocol is lease files with heartbeats: acquisition is an
+// atomic link (first writer wins), liveness is a periodically
+// refreshed heartbeat stamp, and a lease whose heartbeat is older
+// than LeaseTTL may be stolen by any dispatcher, incrementing the
+// attempt count. A stolen-from worker notices the foreign token at
+// its next heartbeat and cancels itself. Steal races are benign by
+// construction: every execution of a shard produces bit-identical
+// statistics (positional seeds) and every artifact write is an atomic
+// rename of a complete document, so the worst case is duplicated work.
+// A shard whose lease expires on attempt MaxAttempts is marked
+// terminally failed (failed-<shard>.json) and Dispatch reports it
+// rather than retrying forever.
+//
+// Dispatch returns the ids of the shards this process completed.
+// After it returns nil, every shard of the manifest has a
+// part-<shard>.json in Dir and CollectArtifacts + Merge yield the
+// sweep result, bit-identical to the single-process Sweep.
+func Dispatch(ctx context.Context, m *Manifest, opts DispatchOptions) ([]string, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("shard: dispatch needs a queue directory")
+	}
+	if err := os.MkdirAll(PartialsDir(opts.Dir), 0o755); err != nil {
+		return nil, err
+	}
+	d := &dispatcher{m: m, opts: opts, proc: hostmeta.CollectProcess()}
+	var completed []string
+	for {
+		if err := ctx.Err(); err != nil {
+			return completed, err
+		}
+		open, failed := 0, []string{}
+		ranOne := false
+		for i := range m.Shards {
+			id := m.Shards[i].ID
+			if fileExists(DonePath(opts.Dir, id)) {
+				continue
+			}
+			if fileExists(FailedPath(opts.Dir, id)) {
+				failed = append(failed, id)
+				continue
+			}
+			open++
+			lease, state, err := d.tryAcquire(id)
+			if err != nil {
+				return completed, err
+			}
+			switch state {
+			case leaseBusy:
+				continue
+			case leaseFailed:
+				failed = append(failed, id)
+				open--
+				continue
+			}
+			if err := d.runShard(ctx, id, lease); err != nil {
+				// Leave the lease in place: it expires and the shard is
+				// retried (capped) by whoever scans next — including this
+				// process, unless the error is fatal to it.
+				return completed, err
+			}
+			completed = append(completed, id)
+			ranOne = true
+		}
+		if open == 0 {
+			if len(failed) > 0 {
+				sort.Strings(failed)
+				return completed, fmt.Errorf("shard: %d shard(s) failed terminally after attempt cap %d: %v",
+					len(failed), opts.MaxAttempts, failed)
+			}
+			return completed, nil
+		}
+		if !ranOne {
+			// Every open shard is leased by a live peer (or cooling toward
+			// expiry) — wait before rescanning.
+			select {
+			case <-ctx.Done():
+				return completed, ctx.Err()
+			case <-time.After(opts.Poll):
+			}
+		}
+	}
+}
+
+// CollectArtifacts loads every shard's completed artifact from a
+// drained queue directory, in manifest order, ready for Merge.
+func CollectArtifacts(dir string, m *Manifest) ([]*Artifact, error) {
+	arts := make([]*Artifact, 0, len(m.Shards))
+	for i := range m.Shards {
+		id := m.Shards[i].ID
+		data, err := os.ReadFile(DonePath(dir, id))
+		if err != nil {
+			return nil, fmt.Errorf("shard: collecting %s: %w", id, err)
+		}
+		var a Artifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			return nil, fmt.Errorf("shard: collecting %s: %w", id, err)
+		}
+		arts = append(arts, &a)
+	}
+	return arts, nil
+}
+
+type leaseState int
+
+const (
+	leaseAcquired leaseState = iota
+	leaseBusy
+	leaseFailed
+)
+
+type dispatcher struct {
+	m    *Manifest
+	opts DispatchOptions
+	proc hostmeta.Process
+}
+
+// tryAcquire claims the shard's lease: fresh creation via atomic link
+// (first writer wins), or a steal of an expired lease via atomic
+// rename plus token read-back (last writer wins, losers see a foreign
+// token). An expired lease already at the attempt cap is promoted to
+// a terminal failed marker instead.
+func (d *dispatcher) tryAcquire(shardID string) (Lease, leaseState, error) {
+	path := LeasePath(d.opts.Dir, shardID)
+	now := time.Now().UTC()
+	lease := Lease{
+		Schema:      ManifestSchema,
+		Shard:       shardID,
+		Token:       newToken(),
+		Attempt:     1,
+		Owner:       d.proc,
+		AcquiredAt:  now,
+		HeartbeatAt: now,
+	}
+	created, err := linkNew(path, lease)
+	if err != nil {
+		return Lease{}, leaseBusy, err
+	}
+	if created {
+		return lease, leaseAcquired, nil
+	}
+	// Contested: inspect the incumbent.
+	var old Lease
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Released between our link attempt and read — next scan gets it.
+		return Lease{}, leaseBusy, nil
+	case err != nil:
+		return Lease{}, leaseBusy, err
+	case json.Unmarshal(data, &old) != nil:
+		// A corrupt lease cannot prove liveness; treat as expired with
+		// an unknown attempt count of 0. (Lease writes are atomic, so
+		// this is an operator-truncated file, not a torn write.)
+		old = Lease{Shard: shardID}
+	}
+	if now.Sub(old.HeartbeatAt) < d.opts.LeaseTTL {
+		return Lease{}, leaseBusy, nil
+	}
+	if old.Attempt >= d.opts.MaxAttempts {
+		// Expired on its last permitted attempt: terminal. The marker
+		// write is idempotent (atomic rename of identical semantics from
+		// racing dispatchers).
+		if err := writeJSONAtomic(FailedPath(d.opts.Dir, shardID), &old); err != nil {
+			return Lease{}, leaseBusy, err
+		}
+		return Lease{}, leaseFailed, nil
+	}
+	lease.Attempt = old.Attempt + 1
+	if err := writeJSONAtomic(path, &lease); err != nil {
+		return Lease{}, leaseBusy, err
+	}
+	// Read back: of N racing stealers the last rename wins; exactly one
+	// sees its own token.
+	current, err := readLease(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Our steal lost to a racing release's check-then-remove (the
+		// incumbent finished after all) or another steal's cleanup —
+		// benign, the next scan finds the done artifact or a fresh lease.
+		return Lease{}, leaseBusy, nil
+	case err != nil:
+		return Lease{}, leaseBusy, err
+	case current.Token != lease.Token:
+		return Lease{}, leaseBusy, nil
+	}
+	return lease, leaseAcquired, nil
+}
+
+// runShard executes one leased shard resumably while heartbeating the
+// lease, then publishes the artifact and releases the lease. An
+// execution error leaves the lease to expire so the shard is retried
+// under the attempt cap.
+func (d *dispatcher) runShard(ctx context.Context, shardID string, lease Lease) error {
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d.heartbeat(shardCtx, stop, shardID, lease, cancel)
+	}()
+	art, err := runResumable(shardCtx, d.m, shardID, d.opts.Workers, PartialsDir(d.opts.Dir), d.opts.FailAfterCells)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	if err := writeJSONAtomic(DonePath(d.opts.Dir, shardID), art); err != nil {
+		return err
+	}
+	d.release(shardID, lease.Token)
+	return nil
+}
+
+// heartbeat refreshes the lease's HeartbeatAt every Heartbeat period.
+// If the lease no longer carries our token — a peer presumed us dead
+// and stole the shard — the in-flight execution is cancelled: the
+// thief owns the shard now, and idempotent artifacts make our partial
+// progress its head start rather than a hazard.
+func (d *dispatcher) heartbeat(ctx context.Context, stop <-chan struct{}, shardID string, lease Lease, cancel context.CancelFunc) {
+	path := LeasePath(d.opts.Dir, shardID)
+	ticker := time.NewTicker(d.opts.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			current, err := readLease(path)
+			if err == nil && current.Token != lease.Token {
+				cancel()
+				return
+			}
+			lease.HeartbeatAt = time.Now().UTC()
+			// Best effort: a failed beat only ages the lease toward
+			// stealability, which is the intended failure mode.
+			_ = writeJSONAtomic(path, &lease)
+		}
+	}
+}
+
+// release removes the lease if it is still ours; losing this race is
+// fine (the new owner will find the done artifact and move on).
+func (d *dispatcher) release(shardID, token string) {
+	path := LeasePath(d.opts.Dir, shardID)
+	if current, err := readLease(path); err == nil && current.Token == token {
+		_ = os.Remove(path)
+	}
+}
+
+func readLease(path string) (Lease, error) {
+	var l Lease
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return l, err
+	}
+	if err := json.Unmarshal(data, &l); err != nil {
+		return l, err
+	}
+	return l, nil
+}
+
+// linkNew atomically creates path with v's JSON iff it does not
+// already exist, via a unique temp file and os.Link — the content is
+// complete before the name appears, unlike O_CREATE|O_EXCL plus
+// write, whose readers can observe a half-written lease.
+func linkNew(path string, v any) (created bool, err error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return false, err
+	}
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return false, err
+	}
+	name := tmp.Name()
+	defer os.Remove(name)
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return false, err
+	}
+	if err := tmp.Close(); err != nil {
+		return false, err
+	}
+	if err := os.Link(name, path); err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"repro/internal/hostmeta"
+	"repro/internal/sim"
+)
+
+// CellArtifact is the resumable runner's unit of persisted progress:
+// one cell's aggregated statistics, self-describing like the shard
+// Artifact (it echoes the full sweep spec, so a partials directory
+// can be checked against the plan it belongs to). Cell keys
+// (x, trial range) are globally unique within a plan — cells tile the
+// (size × trial) grid — so partials carry no shard id and survive
+// re-sharding: a cell computed under a 4-shard plan resumes a 7-shard
+// plan of the same sweep.
+type CellArtifact struct {
+	Schema int           `json:"schema"`
+	Sweep  SweepSpec     `json:"sweep"`
+	Cell   Cell          `json:"cell"`
+	Stats  sim.Stats     `json:"stats"`
+	Host   hostmeta.Meta `json:"host"`
+}
+
+// cellFileName is the canonical partial file name for a cell. The
+// name is a pure function of the cell so concurrent attempts at the
+// same cell collide on one path and the atomic rename makes the last
+// writer win with a complete document either way.
+func cellFileName(c Cell) string {
+	return fmt.Sprintf("cell-x%d-t%d-%d.json", c.X, c.TrialLo, c.TrialHi)
+}
+
+// WriteFileAtomic writes data to path via a uniquely named temp file
+// in the same directory and an atomic rename, so concurrent readers
+// (and merge/resume scans) never observe a torn file and a killed
+// writer leaves no partial document behind — at worst a stray .tmp.
+func WriteFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// writeJSONAtomic marshals v (indented, trailing newline, the
+// repo-wide artifact convention) and writes it atomically.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, append(data, '\n'))
+}
+
+// loadCell reads one cell partial and checks it belongs to the sweep
+// and claims the cell it is named for. A partial from a different
+// sweep in the directory is an operator error (two plans sharing a
+// partials dir) and is reported, not skipped: silently recomputing
+// would mask the mixup until merge time or beyond.
+func loadCell(path string, sw SweepSpec, want Cell) (*CellArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ca CellArtifact
+	if err := json.Unmarshal(data, &ca); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if ca.Schema != ArtifactSchema {
+		return nil, fmt.Errorf("%s: cell schema %d, this build understands %d", path, ca.Schema, ArtifactSchema)
+	}
+	if !reflect.DeepEqual(ca.Sweep, sw) {
+		return nil, fmt.Errorf("%s: cell belongs to a different sweep (partials dir shared between plans?)", path)
+	}
+	if ca.Cell != want {
+		return nil, fmt.Errorf("%s: cell is %+v, file name promises %+v", path, ca.Cell, want)
+	}
+	if ca.Stats.Trials != want.TrialHi-want.TrialLo {
+		return nil, fmt.Errorf("%s: cell claims trials [%d,%d) but its stats aggregate %d trials",
+			path, want.TrialLo, want.TrialHi, ca.Stats.Trials)
+	}
+	return &ca, nil
+}
+
+// RunResumable is Run with per-cell persistence in dir: cells whose
+// partial artifacts already exist are loaded instead of recomputed,
+// and every freshly computed cell is persisted (atomic rename) the
+// moment it completes — a worker killed mid-shard loses at most the
+// one cell in flight, and the next attempt (same process or a
+// dispatcher retry on another host) picks up from the surviving
+// cells. Cells execute one at a time (trials still fan out to the
+// worker pool) so persistence granularity really is one cell; the
+// grouped multi-size parallelism of Run is traded away for it.
+//
+// Positional seeds make resumed and fresh cells bit-identical, so the
+// assembled Artifact carries exactly the Points of an uninterrupted
+// Run (the Host stamp is the finishing process's).
+func RunResumable(ctx context.Context, m *Manifest, shardID string, workers int, dir string) (*Artifact, error) {
+	return runResumable(ctx, m, shardID, workers, dir, 0)
+}
+
+// runResumable implements RunResumable; failAfter > 0 injects a fault
+// for kill/resume tests and the CI dispatcher drill: the runner
+// returns errInjectedFailure after persisting that many fresh cells,
+// leaving the partials exactly as a killed process would.
+func runResumable(ctx context.Context, m *Manifest, shardID string, workers int, dir string, failAfter int) (*Artifact, error) {
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("shard: manifest schema %d, this build understands %d", m.Schema, ManifestSchema)
+	}
+	spec, err := m.Shard(shardID)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	sw := m.Sweep
+	p, n, err := sw.Build()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := sw.Options(workers)
+	if err != nil {
+		return nil, err
+	}
+	expected := func(x int64) bool { return x >= n }
+
+	art := &Artifact{
+		Schema: ArtifactSchema,
+		Sweep:  sw,
+		Shard:  *spec,
+		Host:   hostmeta.Collect(),
+	}
+	fresh := 0
+	for _, c := range spec.Cells {
+		path := filepath.Join(dir, cellFileName(c))
+		if _, statErr := os.Stat(path); statErr == nil {
+			ca, err := loadCell(path, sw, c)
+			if err != nil {
+				return nil, err
+			}
+			art.Points = append(art.Points, PartialPoint{
+				X: c.X, TrialLo: c.TrialLo, TrialHi: c.TrialHi, Stats: ca.Stats,
+			})
+			continue
+		}
+		points, err := sim.SweepRange(ctx, p, sw.InputState, []int64{c.X}, expected, c.TrialLo, c.TrialHi, opts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s cell x=%d trials [%d,%d): %w", shardID, c.X, c.TrialLo, c.TrialHi, err)
+		}
+		ca := CellArtifact{Schema: ArtifactSchema, Sweep: sw, Cell: c, Stats: points[0].Stats, Host: art.Host}
+		if err := writeJSONAtomic(path, &ca); err != nil {
+			return nil, err
+		}
+		art.Points = append(art.Points, PartialPoint{
+			X: c.X, TrialLo: c.TrialLo, TrialHi: c.TrialHi, Stats: points[0].Stats,
+		})
+		fresh++
+		if failAfter > 0 && fresh >= failAfter {
+			return nil, fmt.Errorf("shard %s: %w after %d cells", shardID, errInjectedFailure, fresh)
+		}
+	}
+	return art, nil
+}
+
+// errInjectedFailure marks a deliberately simulated worker death
+// (ppsweep dispatch -fail-after-cells, kill/resume tests).
+var errInjectedFailure = errors.New("injected worker failure")

@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// A full resumable run with a cold partials dir must produce exactly
+// the Points of the plain runner, and leave one partial per cell.
+func TestRunResumableMatchesRun(t *testing.T) {
+	m, err := Plan(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	plain, err := Run(context.Background(), m, "s000", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunResumable(context.Background(), m, "s000", 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Points, res.Points) {
+		t.Errorf("resumable points differ from plain run:\n%+v\nvs\n%+v", plain.Points, res.Points)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "cell-") && strings.HasSuffix(e.Name(), ".json") {
+			cells++
+		}
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("stray temp file %s", e.Name())
+		}
+	}
+	spec, _ := m.Shard("s000")
+	if cells != len(spec.Cells) {
+		t.Errorf("%d cell partials persisted, want %d", cells, len(spec.Cells))
+	}
+}
+
+// The kill-mid-shard contract: a worker that dies after persisting k
+// cells loses nothing but the in-flight cell; a second attempt loads
+// the k survivors (verified: recomputation would be indistinguishable
+// here, so the test plants a poison pill) and completes to the same
+// artifact an uninterrupted run produces.
+func TestRunResumableKillResume(t *testing.T) {
+	m, err := Plan(testSpec(), 1) // 4 cells, one per size
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := runResumable(context.Background(), m, "s000", 0, dir, 2); !errors.Is(err, errInjectedFailure) {
+		t.Fatalf("injected failure not reported: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 2 {
+		t.Fatalf("%d partials after dying at 2 cells, want 2", len(entries))
+	}
+	// Loaded-not-recomputed is observable because corrupting a survivor
+	// must break the resume: a runner that recomputed every cell would
+	// never read the poisoned file.
+	spec, _ := m.Shard("s000")
+	poison := filepath.Join(dir, cellFileName(spec.Cells[0]))
+	if err := os.WriteFile(poison, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunResumable(context.Background(), m, "s000", 0, dir); err == nil {
+		t.Fatal("corrupt partial silently ignored — resume is recomputing instead of loading")
+	}
+	// Restore by deleting the poison: the cell is simply recomputed.
+	if err := os.Remove(poison); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RunResumable(context.Background(), m, "s000", 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(context.Background(), m, "s000", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Points, resumed.Points) {
+		t.Errorf("kill+resume points differ from uninterrupted run:\n%+v\nvs\n%+v", plain.Points, resumed.Points)
+	}
+}
+
+// Partials from a different sweep (same directory reused for another
+// plan) must fail loudly, not silently recompute or — worse — merge.
+func TestRunResumableRejectsForeignPartials(t *testing.T) {
+	sw := testSpec()
+	m, err := Plan(sw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := RunResumable(context.Background(), m, "s000", 0, dir); err != nil {
+		t.Fatal(err)
+	}
+	other := sw
+	other.Seed++
+	m2, err := Plan(other, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunResumable(context.Background(), m2, "s000", 0, dir); err == nil {
+		t.Error("partials of a different sweep accepted")
+	}
+}
+
+// A cell partial whose stats do not cover its claimed range (torn by
+// hand, truncated accumulators) is rejected at load time, mirroring
+// Merge's internal-consistency check.
+func TestRunResumableRejectsInconsistentPartial(t *testing.T) {
+	m, err := Plan(testSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := RunResumable(context.Background(), m, "s000", 0, dir); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := m.Shard("s000")
+	path := filepath.Join(dir, cellFileName(spec.Cells[0]))
+	ca, err := loadCell(path, m.Sweep, spec.Cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.Stats.Trials--
+	if err := writeJSONAtomic(path, ca); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunResumable(context.Background(), m, "s000", 0, dir); err == nil {
+		t.Error("internally inconsistent cell partial accepted")
+	}
+}

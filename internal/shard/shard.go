@@ -17,6 +17,17 @@
 //     integer counts, sums (128-bit for Σsteps²), and extrema, never
 //     precomputed means, so folding partials is associative and
 //     bit-identical to direct aggregation.
+//
+// On top of the plan/run/merge core sit the scaling layers: PlanCost
+// cuts shards at equal expected cost under a pluggable CostModel so
+// large-population cells don't straggle; RunResumable persists each
+// completed cell by atomic rename so a killed worker loses at most
+// the cell in flight; and Dispatch turns a shared directory into a
+// work queue — lease files with heartbeats, expired-lease stealing
+// with per-shard attempt caps — whose every interleaving of kills,
+// resumes and redispatches still merges bit-identically to the
+// single-process sweep, because execution is idempotent under the two
+// invariants above.
 package shard
 
 import (
@@ -157,10 +168,14 @@ func (s *Spec) Trials() int {
 }
 
 // Manifest is the plan document: the sweep and its partition.
+// CostModel records the model a cost-weighted plan was cut with —
+// provenance only (execution and merging never read it; empty means
+// uniform, so legacy manifests are unchanged).
 type Manifest struct {
-	Schema int       `json:"schema"`
-	Sweep  SweepSpec `json:"sweep"`
-	Shards []Spec    `json:"shards"`
+	Schema    int       `json:"schema"`
+	Sweep     SweepSpec `json:"sweep"`
+	CostModel string    `json:"cost_model,omitempty"`
+	Shards    []Spec    `json:"shards"`
 }
 
 // Shard returns the spec with the given id.
@@ -218,28 +233,9 @@ func (m *Manifest) Validate() error {
 // size-major and cut into contiguous runs, so a shard covers a trial
 // block of one size, whole sizes, or a mix — never an interleaving.
 // The same (spec, shards) input always yields the identical manifest.
+// Plan is PlanCost under UniformCost; sweeps over geometric size
+// ranges should prefer PlanCost with a workload-matched model so
+// large-x shards don't straggle.
 func Plan(sw SweepSpec, shards int) (*Manifest, error) {
-	if err := sw.Validate(); err != nil {
-		return nil, err
-	}
-	if shards <= 0 {
-		return nil, errors.New("shard: shard count must be positive")
-	}
-	cellsTotal := len(sw.Sizes) * sw.Trials
-	if shards > cellsTotal {
-		shards = cellsTotal
-	}
-	m := &Manifest{Schema: ManifestSchema, Sweep: sw, Shards: make([]Spec, 0, shards)}
-	for i := 0; i < shards; i++ {
-		lo := i * cellsTotal / shards
-		hi := (i + 1) * cellsTotal / shards
-		spec := Spec{ID: fmt.Sprintf("s%03d", i)}
-		for si := lo / sw.Trials; si*sw.Trials < hi; si++ {
-			tLo := max(lo, si*sw.Trials) - si*sw.Trials
-			tHi := min(hi, (si+1)*sw.Trials) - si*sw.Trials
-			spec.Cells = append(spec.Cells, Cell{X: sw.Sizes[si], TrialLo: tLo, TrialHi: tHi})
-		}
-		m.Shards = append(m.Shards, spec)
-	}
-	return m, nil
+	return PlanCost(sw, shards, UniformCost{})
 }

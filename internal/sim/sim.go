@@ -9,6 +9,23 @@
 // Runs execute on an incremental engine (State) that fires transitions
 // in place and reweighs only the transitions affected by each step.
 // All randomness is seed-driven; runs are reproducible.
+//
+// Two invariants make runs composable across processes and machines
+// (they are the foundation of the internal/shard pipeline):
+//
+//   - The seed contract is positional. The seed of (size x, trial t)
+//     in a sweep is DeriveSeed(DeriveSeedK(base, x), t) — a pure
+//     function of the sweep's base seed and the trial's coordinates,
+//     never of execution order, worker count, or which process runs
+//     it. RunRange and SweepRange therefore execute any absolute
+//     trial range [lo, hi) bit-identically to the same trials of a
+//     full run.
+//   - Stats are mergeable accumulators. Aggregates carry exact
+//     integer counts, sums (128-bit for Σ steps²) and extrema, never
+//     precomputed means, so Stats.Merge is associative and
+//     commutative and folding any partition of a trial set — in any
+//     order — equals direct aggregation bit for bit. Means, variance
+//     and confidence intervals are methods computed at render time.
 package sim
 
 import (

@@ -10,6 +10,13 @@
 // Ackermannian-complete ([9, 10] + [8, 11]); this verifier is exact but
 // bounded, and reports budget exhaustion as an error instead of
 // guessing.
+//
+// Results are deterministic regardless of parallelism: Input runs
+// both reachability passes over one shared reverse-CSR view of the
+// closure (zero-copy from petri, see that package's ownership
+// invariants), and Range fans independent inputs out to a bounded
+// worker pool while collecting reports in enumeration order, so
+// tables and first-error semantics never depend on scheduling.
 package verify
 
 import (
