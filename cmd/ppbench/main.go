@@ -56,11 +56,21 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ppbench", flag.ContinueOnError)
 	jsonPath := fs.String("json", "", "write per-experiment timings (name, ns_op, allocs_op) to this path")
 	runFilter := fs.String("run", "", "run only experiments whose id matches this regexp")
+	workers := fs.Int("workers", 0, "cap GOMAXPROCS for the whole run (0 = all cores); results are identical, only timings change")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative (got %d)", *workers)
+	}
+	if *workers > 0 {
+		// Experiments auto-detect GOMAXPROCS at every layer, so capping
+		// it here bounds the whole run; hostmeta.Collect below records
+		// the capped value into the artifact.
+		runtime.GOMAXPROCS(*workers)
 	}
 	var re *regexp.Regexp
 	if *runFilter != "" {

@@ -48,9 +48,10 @@ func run(args []string) error {
 		steps     = fs.Int("steps", 1_000_000, "max interactions per run")
 		patience  = fs.Int("patience", 5_000, "consensus patience (steps without output change)")
 		trials    = fs.Int("trials", 1, "number of runs")
-		scheduler = fs.String("scheduler", "weighted", "scheduler: weighted, uniform, batched or countbatch")
-		batch     = fs.Int("batch", 0, fmt.Sprintf("batched batch size / countbatch aggregation threshold (0 = %d / %d)", sim.DefaultBatch, sim.DefaultMinBatch))
-		eps       = fs.Float64("eps", 0, fmt.Sprintf("countbatch drift tolerance in (0,1) (0 = %g)", sim.DefaultEpsilon))
+		scheduler = fs.String("scheduler", "weighted", "scheduler: weighted, uniform, batched, countbatch or auto")
+		batch     = fs.Int("batch", 0, fmt.Sprintf("batched batch size / countbatch and auto aggregation threshold (0 = %d / %d)", sim.DefaultBatch, sim.DefaultMinBatch))
+		eps       = fs.Float64("eps", 0, fmt.Sprintf("countbatch/auto drift tolerance in (0,1) (0 = %g)", sim.DefaultEpsilon))
+		workers   = fs.Int("workers", 0, "worker bound for the scheduler's parallel draw (0 = all cores); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -62,13 +63,17 @@ func run(args []string) error {
 	if *batch < 0 {
 		return fmt.Errorf("-batch must be non-negative (got %d)", *batch)
 	}
-	if *batch != 0 && *scheduler != "batched" && *scheduler != "countbatch" {
-		return fmt.Errorf("-batch only applies to -scheduler batched or countbatch (got %q)", *scheduler)
+	batchable := *scheduler == "batched" || *scheduler == "countbatch" || *scheduler == "auto"
+	if *batch != 0 && !batchable {
+		return fmt.Errorf("-batch only applies to -scheduler batched, countbatch or auto (got %q)", *scheduler)
 	}
-	if *eps != 0 && *scheduler != "countbatch" {
-		return fmt.Errorf("-eps only applies to -scheduler countbatch (got %q)", *scheduler)
+	if *eps != 0 && *scheduler != "countbatch" && *scheduler != "auto" {
+		return fmt.Errorf("-eps only applies to -scheduler countbatch or auto (got %q)", *scheduler)
 	}
-	sched, err := sim.SchedulerByName(*scheduler, *batch, *eps)
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative (got %d)", *workers)
+	}
+	sched, err := sim.SchedulerByName(*scheduler, *batch, *eps, *workers)
 	if err != nil {
 		return err
 	}

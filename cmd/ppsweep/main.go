@@ -20,7 +20,7 @@
 // flags always produce the identical manifest, so independent hosts
 // can re-derive the plan instead of shipping it. -cost weighs cells
 // by expected work (auto picks ~x for the exact schedulers, ~log x
-// for countbatch; uniform reproduces equal trial counts) and cuts
+// for countbatch and auto; uniform reproduces equal trial counts) and cuts
 // shards at equal cost. run executes one shard's trials with
 // positionally derived seeds and writes a partial artifact stamped
 // with host metadata; SIGINT cancels promptly, leaving no artifact;
@@ -97,7 +97,7 @@ func runPlan(args []string, out io.Writer) error {
 		seed      = fs.Int64("seed", 1, "sweep base seed")
 		steps     = fs.Int("steps", 0, "max interactions per run (0 = sim default)")
 		patience  = fs.Int("patience", 0, "consensus patience (0 = whole-run mode)")
-		scheduler = fs.String("scheduler", "", "scheduler: weighted (default), uniform, batched, countbatch")
+		scheduler = fs.String("scheduler", "", "scheduler: weighted (default), uniform, batched, countbatch, auto")
 		batch     = fs.Int("batch", 0, "batched batch size / countbatch aggregation threshold")
 		eps       = fs.Float64("eps", 0, "countbatch drift tolerance")
 		shards    = fs.Int("shards", 1, "number of shards to plan")
@@ -153,7 +153,7 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 	var (
 		planPath = fs.String("plan", "plan.json", "manifest path (from ppsweep plan)")
 		shardID  = fs.String("shard", "", "shard id to execute, e.g. s002")
-		workers  = fs.Int("workers", 0, "trial worker pool bound (0 = GOMAXPROCS)")
+		workers  = fs.Int("workers", 0, "worker budget for the trial pool and scheduler draws (0 = all cores); results are identical for any value")
 		partials = fs.String("partials", "", "resume directory: persist each cell on completion (atomic rename) and skip cells already present")
 		outPath  = fs.String("o", "", "artifact output path (default part-<shard>.json)")
 	)
@@ -205,7 +205,7 @@ func runDispatch(ctx context.Context, args []string, out io.Writer) error {
 	var (
 		planPath    = fs.String("plan", "plan.json", "manifest path (from ppsweep plan)")
 		dir         = fs.String("dir", "", "shared queue directory (leases, artifacts, cell partials)")
-		workers     = fs.Int("workers", 0, "trial worker pool bound (0 = GOMAXPROCS)")
+		workers     = fs.Int("workers", 0, "worker budget for the trial pool and scheduler draws (0 = all cores); results are identical for any value")
 		leaseTTL    = fs.Duration("lease-ttl", time.Minute, "steal a shard whose lease heartbeat is older than this (must exceed cross-host clock skew)")
 		heartbeat   = fs.Duration("heartbeat", 0, "lease refresh period (0 = lease-ttl/4)")
 		maxAttempts = fs.Int("max-attempts", 3, "per-shard acquisition cap before the shard is marked failed")

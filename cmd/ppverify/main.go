@@ -5,6 +5,15 @@
 // Usage:
 //
 //	ppverify -protocol example42 -param 3 -maxx 6
+//	ppverify -protocol flock -param 6 -maxx 12 -workers 8
+//	ppverify -protocol power2 -param 4 -maxx 40 -spill-dir /tmp/spill -spill-mb 512
+//
+// Verification parallelizes across inputs and, within each input,
+// across the closure BFS (-workers, default all cores); results are
+// byte-identical for any worker count. Closures that outgrow RAM can
+// run out-of-core with -spill-dir/-spill-mb: arena pages beyond the
+// budget page to bucket files and the verdicts are identical to the
+// in-RAM run.
 package main
 
 import (
@@ -13,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/conf"
 	"repro/internal/petri"
 	"repro/internal/registry"
 	"repro/internal/verify"
@@ -32,6 +42,9 @@ func run(args []string) error {
 		param      = fs.Int64("param", 2, "construction parameter (n or k)")
 		maxX       = fs.Int64("maxx", -1, "max input size (default n+3)")
 		maxConfigs = fs.Int("budget", 1<<20, "closure budget (configurations)")
+		workers    = fs.Int("workers", 0, "verification worker budget, split across inputs and each closure BFS (0 = all cores); results are identical for any value")
+		spillDir   = fs.String("spill-dir", "", "spill closure arenas to bucket files under this directory when they outgrow -spill-mb (empty = all in RAM)")
+		spillMB    = fs.Int64("spill-mb", 0, fmt.Sprintf("resident arena budget per closure, MiB, for -spill-dir (0 = %d)", conf.DefaultSpillThreshold>>20))
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -54,7 +67,21 @@ func run(args []string) error {
 	fmt.Println(p)
 	fmt.Printf("verifying φ_{i≥%d} for x ∈ [0, %d]\n", n, limit)
 
-	budget := petri.Budget{MaxConfigs: *maxConfigs}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative (got %d)", *workers)
+	}
+	if *spillMB < 0 {
+		return fmt.Errorf("-spill-mb must be non-negative (got %d)", *spillMB)
+	}
+	if *spillMB > 0 && *spillDir == "" {
+		return errors.New("-spill-mb needs -spill-dir")
+	}
+	budget := petri.Budget{
+		MaxConfigs:     *maxConfigs,
+		Workers:        *workers,
+		SpillDir:       *spillDir,
+		SpillThreshold: *spillMB << 20,
+	}
 	res, err := verify.Counting(p, "i", n, limit, budget)
 	if err != nil {
 		return err

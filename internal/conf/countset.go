@@ -10,13 +10,16 @@ package conf
 // count comparison, so the set is exact regardless of hash quality.
 //
 // A CountSet is not safe for concurrent mutation; concurrent readers
-// of At slices are fine while no Insert runs.
+// of At slices are fine while no Insert runs. In spill mode
+// (NewSpillingCountSet) concurrent reads are additionally restricted
+// to the pinned id range — see PinRange.
 type CountSet struct {
 	width  int
 	arena  []int64 // id's counts at arena[id*width : (id+1)*width]
 	hashes []uint64
 	table  []int32 // open addressing: 0 = empty, else id+1
 	mask   uint64
+	spill  *spillArena // nil for the default all-RAM arena
 }
 
 // NewCountSet builds a set of count vectors of the given width
@@ -44,9 +47,14 @@ func (s *CountSet) Len() int { return len(s.hashes) }
 func (s *CountSet) Width() int { return s.width }
 
 // At returns the vector with the given id. The slice aliases the
-// arena and must not be mutated; it stays valid (with the same
-// contents) across later Inserts.
+// arena and must not be mutated. For all-RAM sets it stays valid
+// (with the same contents) across later Inserts; for spilling sets it
+// is only valid until the next At, Insert or PinRange, which may
+// evict the page behind it.
 func (s *CountSet) At(id int) []int64 {
+	if s.spill != nil {
+		return s.spill.at(id)
+	}
 	lo := id * s.width
 	return s.arena[lo : lo+s.width : lo+s.width]
 }
@@ -100,7 +108,11 @@ func (s *CountSet) insertCapped(c []int64, h uint64, max int) (int, bool, bool) 
 			}
 			id := len(s.hashes)
 			s.hashes = append(s.hashes, h)
-			s.arena = append(s.arena, c...)
+			if s.spill != nil {
+				s.spill.append(c)
+			} else {
+				s.arena = append(s.arena, c...)
+			}
 			s.table[i] = int32(id + 1)
 			return id, true, false
 		}

@@ -1,0 +1,282 @@
+package conf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SpillOptions configures a CountSet's out-of-core mode: once the
+// resident arena grows past Threshold bytes, cold arena pages are
+// flushed to bucket files under a private temp directory inside Dir
+// and reloaded on demand, so closures whose count vectors exceed RAM
+// keep running at the cost of page I/O on cold probes. Only the raw
+// vectors spill; the dedup table and the 64-bit hashes stay resident,
+// so an insert touches disk only on a genuine hash collision or when
+// appending past a page boundary.
+type SpillOptions struct {
+	// Dir is the directory the spill buckets live under; the set
+	// creates (and on Release removes) a private subdirectory of it.
+	// It must be non-empty; it is created if absent.
+	Dir string
+	// Threshold is the resident-arena byte budget above which full
+	// cold pages are evicted to disk. Zero means DefaultSpillThreshold.
+	Threshold int64
+}
+
+// DefaultSpillThreshold is the resident-arena budget used when
+// SpillOptions.Threshold is zero: 256 MiB of raw count vectors.
+const DefaultSpillThreshold = int64(256) << 20
+
+// spillArena is the paged out-of-core arena behind a spilling
+// CountSet. Vectors are dense in insertion order, pageVecs per page;
+// a page is immutable once full (stored vectors are never mutated),
+// so it is written to its bucket file at most once and eviction after
+// that first flush is free. The tail page being appended to is always
+// resident, as is the pinned id range (the closure level a parallel
+// BFS is fanning out), so concurrent readers of pinned ids never
+// fault a page in — page loads mutate the arena and are only legal
+// from the owning (serial) goroutine.
+type spillArena struct {
+	width     int
+	pageVecs  int
+	pageBytes int64
+	threshold int64
+	dir       string // owned temp dir, removed by Release
+
+	pages    []spillPage
+	resident int64
+	hand     int // clock eviction hand
+	pinLo    int // pinned page range [pinLo, pinHi)
+	pinHi    int
+
+	evictions int
+	loads     int
+	released  bool
+}
+
+type spillPage struct {
+	data    []int64
+	flushed bool // the bucket file holds the page's final contents
+}
+
+// spillPageTarget bounds one bucket file's payload. Small thresholds
+// shrink pages so eviction stays meaningful in tests; the floor keeps
+// the page count (and file count) sane.
+func spillPageTarget(threshold int64) int64 {
+	target := threshold / 8
+	if target < 4<<10 {
+		target = 4 << 10
+	}
+	if target > 1<<20 {
+		target = 1 << 20
+	}
+	return target
+}
+
+func newSpillArena(width int, opts SpillOptions) (*spillArena, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("conf: spill needs a directory")
+	}
+	threshold := opts.Threshold
+	if threshold <= 0 {
+		threshold = DefaultSpillThreshold
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("conf: spill dir: %w", err)
+	}
+	dir, err := os.MkdirTemp(opts.Dir, "countset-")
+	if err != nil {
+		return nil, fmt.Errorf("conf: spill dir: %w", err)
+	}
+	vecBytes := int64(width) * 8
+	if vecBytes == 0 {
+		vecBytes = 8 // width-0 spaces store no payload; keep the math finite
+	}
+	pageVecs := int(spillPageTarget(threshold) / vecBytes)
+	if pageVecs < 1 {
+		pageVecs = 1
+	}
+	return &spillArena{
+		width:     width,
+		pageVecs:  pageVecs,
+		pageBytes: int64(pageVecs) * vecBytes,
+		threshold: threshold,
+		dir:       dir,
+	}, nil
+}
+
+// append adds one vector at the end of the arena (the caller assigns
+// its id = previous length).
+func (a *spillArena) append(c []int64) {
+	if len(a.pages) == 0 || len(a.pages[len(a.pages)-1].data) == a.pageVecs*a.width {
+		a.maybeEvictExcept(-1)
+		a.pages = append(a.pages, spillPage{data: make([]int64, 0, a.pageVecs*a.width)})
+		a.resident += a.pageBytes
+	}
+	tail := &a.pages[len(a.pages)-1]
+	tail.data = append(tail.data, c...)
+}
+
+// at returns the vector with the given id, loading its page from disk
+// if it was evicted. Loads mutate the arena: concurrent readers are
+// only safe on the pinned range (see pin), which is kept resident.
+func (a *spillArena) at(id int) []int64 {
+	pi := id / a.pageVecs
+	p := &a.pages[pi]
+	if p.data == nil {
+		a.load(pi)
+		// Shed pressure from the fault, but never the page we are
+		// about to hand a slice of.
+		a.maybeEvictExcept(pi)
+	}
+	lo := (id - pi*a.pageVecs) * a.width
+	return p.data[lo : lo+a.width : lo+a.width]
+}
+
+// pin marks the pages covering ids [lo, hi) as resident and
+// unevictable (replacing any previous pin) and faults them in now, so
+// concurrent at calls on the range are read-only.
+func (a *spillArena) pin(lo, hi int) {
+	a.pinLo, a.pinHi = lo/a.pageVecs, (hi+a.pageVecs-1)/a.pageVecs
+	for pi := a.pinLo; pi < a.pinHi && pi < len(a.pages); pi++ {
+		if a.pages[pi].data == nil {
+			a.load(pi)
+		}
+	}
+	a.maybeEvictExcept(-1)
+}
+
+func (a *spillArena) pinned(pi int) bool {
+	// The tail page is always pinned: it is mid-append and has no
+	// final contents to flush.
+	return (pi >= a.pinLo && pi < a.pinHi) || pi == len(a.pages)-1
+}
+
+// maybeEvictExcept flushes and drops cold full pages until the
+// resident footprint fits the threshold again (or nothing evictable
+// remains — pinned levels may legitimately overshoot). Page `except`
+// (−1 for none) is never evicted: it is the page a caller is handing
+// out a slice of. Clock order makes the eviction pattern
+// deterministic.
+func (a *spillArena) maybeEvictExcept(except int) {
+	for a.resident > a.threshold {
+		evicted := false
+		for scanned := 0; scanned < len(a.pages); scanned++ {
+			pi := a.hand
+			a.hand = (a.hand + 1) % len(a.pages)
+			p := &a.pages[pi]
+			if p.data == nil || pi == except || a.pinned(pi) || len(p.data) != a.pageVecs*a.width {
+				continue
+			}
+			if !p.flushed {
+				a.flush(pi)
+			}
+			p.data = nil
+			a.resident -= a.pageBytes
+			a.evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+func (a *spillArena) bucketPath(pi int) string {
+	return filepath.Join(a.dir, fmt.Sprintf("bucket-%06d.spill", pi))
+}
+
+// flush writes page pi's vectors to its bucket file as little-endian
+// int64 words. Pages are only flushed when full, so the file is the
+// page's final contents and is written exactly once.
+func (a *spillArena) flush(pi int) {
+	p := &a.pages[pi]
+	buf := make([]byte, 8*len(p.data))
+	for i, v := range p.data {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	if err := os.WriteFile(a.bucketPath(pi), buf, 0o644); err != nil {
+		panic(fmt.Sprintf("conf: spill write %s: %v", a.bucketPath(pi), err))
+	}
+	p.flushed = true
+}
+
+func (a *spillArena) load(pi int) {
+	if a.released {
+		panic("conf: CountSet used after Release")
+	}
+	buf, err := os.ReadFile(a.bucketPath(pi))
+	if err != nil {
+		panic(fmt.Sprintf("conf: spill read %s: %v", a.bucketPath(pi), err))
+	}
+	data := make([]int64, len(buf)/8)
+	for i := range data {
+		data[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	a.pages[pi].data = data
+	a.resident += a.pageBytes
+	a.loads++
+}
+
+// NewSpillingCountSet builds a CountSet whose arena spills to disk:
+// semantically identical to NewCountSet — same ids, same dedup, the
+// node-for-node-identical contract the closure engines rely on — but
+// the raw vectors live in fixed-size pages that are flushed to bucket
+// files once the resident footprint exceeds opts.Threshold and
+// reloaded on demand. Release removes the bucket directory.
+func NewSpillingCountSet(width, capacityHint int, opts SpillOptions) (*CountSet, error) {
+	if width < 0 {
+		return nil, fmt.Errorf("conf: negative CountSet width")
+	}
+	arena, err := newSpillArena(width, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := NewCountSet(width, capacityHint)
+	s.spill = arena
+	return s, nil
+}
+
+// Spilling reports whether the set runs the out-of-core arena.
+func (s *CountSet) Spilling() bool { return s.spill != nil }
+
+// SpillStats reports the spill traffic so far: pages evicted to disk
+// and pages loaded back. Both are zero for all-RAM sets and for
+// spilling sets whose arena never outgrew the threshold.
+func (s *CountSet) SpillStats() (evictions, loads int) {
+	if s.spill == nil {
+		return 0, 0
+	}
+	return s.spill.evictions, s.spill.loads
+}
+
+// ArenaBytes returns the total arena footprint (resident + spilled):
+// 8 bytes per stored count word.
+func (s *CountSet) ArenaBytes() int64 {
+	return int64(s.Len()) * int64(s.width) * 8
+}
+
+// PinRange ensures the pages holding ids [lo, hi) are resident and
+// exempt from eviction until the next PinRange or Release, replacing
+// any previous pin. Concurrent readers of At on a pinned range are
+// safe while no Insert runs; unpinned ids may fault pages in, which
+// mutates the set. All-RAM sets need no pinning; the call is a no-op.
+func (s *CountSet) PinRange(lo, hi int) {
+	if s.spill != nil {
+		s.spill.pin(lo, hi)
+	}
+}
+
+// Release deletes the set's spill files. The set must not be used
+// afterwards (evicted pages are unrecoverable); releasing an all-RAM
+// set, or releasing twice, is a no-op.
+func (s *CountSet) Release() {
+	if s.spill == nil || s.spill.released {
+		return
+	}
+	s.spill.released = true
+	os.RemoveAll(s.spill.dir)
+}

@@ -1,0 +1,200 @@
+package conf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// newShadowedSets builds a spilling set with a deliberately tiny
+// threshold alongside an all-RAM reference set of the same width.
+func newSpillSet(t *testing.T, width int, threshold int64) *CountSet {
+	t.Helper()
+	s, err := NewSpillingCountSet(width, 0, SpillOptions{Dir: t.TempDir(), Threshold: threshold})
+	if err != nil {
+		t.Fatalf("NewSpillingCountSet: %v", err)
+	}
+	return s
+}
+
+// vec derives a deterministic width-w vector from an index, with
+// enough collisions-by-prefix to exercise full-count comparison.
+func vec(i, w int) []int64 {
+	c := make([]int64, w)
+	for j := range c {
+		c[j] = int64((i*(j+3) + j) % 97)
+	}
+	c[w-1] = int64(i) // make vectors pairwise distinct
+	return c
+}
+
+// A spilling set must behave exactly like an all-RAM set — same ids,
+// same dedup decisions, same vector contents on readback — while
+// actually evicting pages once the arena outgrows the threshold.
+func TestSpillingCountSetMatchesRAM(t *testing.T) {
+	const width, n = 6, 5000
+	ram := NewCountSet(width, 0)
+	// 4 KiB floor on page size → width-6 pages hold ~85 vectors; a
+	// 16 KiB threshold keeps only ~4 pages of 59 resident.
+	sp := newSpillSet(t, width, 16<<10)
+	defer sp.Release()
+
+	for i := 0; i < n; i++ {
+		c := vec(i, width)
+		idR, addedR := ram.Insert(c)
+		idS, addedS := sp.Insert(c)
+		if idR != idS || addedR != addedS {
+			t.Fatalf("insert %d: ram (%d,%v) vs spill (%d,%v)", i, idR, addedR, idS, addedS)
+		}
+	}
+	// Re-inserting must dedup identically.
+	for i := 0; i < n; i += 7 {
+		c := vec(i, width)
+		idR, addedR := ram.Insert(c)
+		idS, addedS := sp.Insert(c)
+		if addedR || addedS || idR != idS {
+			t.Fatalf("reinsert %d: ram (%d,%v) vs spill (%d,%v)", i, idR, addedR, idS, addedS)
+		}
+	}
+	if sp.Len() != ram.Len() {
+		t.Fatalf("Len: spill %d vs ram %d", sp.Len(), ram.Len())
+	}
+	evictions, _ := sp.SpillStats()
+	if evictions == 0 {
+		t.Fatalf("arena of %d bytes never spilled past threshold", sp.ArenaBytes())
+	}
+	// Random-access readback faults evicted pages in; every vector must
+	// come back word-for-word identical. Stride to defeat locality.
+	for i := 0; i < n; i++ {
+		id := (i * 2654435761) % n
+		a, b := ram.At(id), sp.At(id)
+		if !equalCounts(a, b) {
+			t.Fatalf("At(%d): spill %v vs ram %v", id, b, a)
+		}
+	}
+	if _, loads := sp.SpillStats(); loads == 0 {
+		t.Error("strided readback over an evicted arena performed no loads")
+	}
+	// Lookup goes through the same At comparisons.
+	for i := 0; i < n; i += 13 {
+		id, ok := sp.Lookup(vec(i, width))
+		if !ok || id != i {
+			t.Fatalf("Lookup(vec(%d)) = (%d,%v)", i, id, ok)
+		}
+	}
+}
+
+// PinRange must hold the pinned pages resident across pressure from
+// unpinned faults, so concurrent readers of the pinned range never
+// observe a page load.
+func TestSpillingCountSetPinRange(t *testing.T) {
+	const width, n = 6, 4000
+	sp := newSpillSet(t, width, 16<<10)
+	defer sp.Release()
+	for i := 0; i < n; i++ {
+		sp.Insert(vec(i, width))
+	}
+	lo, hi := 100, 400
+	sp.PinRange(lo, hi)
+	// Churn far outside the pin to force eviction pressure.
+	for i := n - 1; i >= hi; i -= 3 {
+		sp.At(i)
+	}
+	_, loadsBefore := sp.SpillStats()
+	for i := lo; i < hi; i++ {
+		if got, want := sp.At(i), vec(i, width); !equalCounts(got, want) {
+			t.Fatalf("pinned At(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if _, loads := sp.SpillStats(); loads != loadsBefore {
+		t.Errorf("reading the pinned range loaded %d pages", loads-loadsBefore)
+	}
+}
+
+// Release must remove every spill file; double release is a no-op.
+func TestSpillingCountSetRelease(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := NewSpillingCountSet(4, 0, SpillOptions{Dir: dir, Threshold: 8 << 10})
+	if err != nil {
+		t.Fatalf("NewSpillingCountSet: %v", err)
+	}
+	for i := 0; i < 4000; i++ {
+		sp.Insert(vec(i, 4))
+	}
+	if evictions, _ := sp.SpillStats(); evictions == 0 {
+		t.Fatal("no evictions; test needs spill traffic")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one spill subdir, got %v (%v)", entries, err)
+	}
+	sub := filepath.Join(dir, entries[0].Name())
+	files, _ := os.ReadDir(sub)
+	if len(files) == 0 {
+		t.Fatal("no bucket files written")
+	}
+	sp.Release()
+	sp.Release() // idempotent
+	if _, err := os.Stat(sub); !os.IsNotExist(err) {
+		t.Errorf("spill dir %s survived Release (err=%v)", sub, err)
+	}
+}
+
+func TestSpillingCountSetValidation(t *testing.T) {
+	if _, err := NewSpillingCountSet(4, 0, SpillOptions{}); err == nil {
+		t.Error("empty spill dir accepted")
+	}
+	if _, err := NewSpillingCountSet(-1, 0, SpillOptions{Dir: t.TempDir()}); err == nil {
+		t.Error("negative width accepted")
+	}
+	// Zero threshold falls back to the default and stays all-resident
+	// at test scale.
+	sp, err := NewSpillingCountSet(3, 0, SpillOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("NewSpillingCountSet: %v", err)
+	}
+	defer sp.Release()
+	if !sp.Spilling() {
+		t.Error("Spilling() = false for a spill-enabled set")
+	}
+	for i := 0; i < 100; i++ {
+		sp.Insert(vec(i, 3))
+	}
+	if ev, loads := sp.SpillStats(); ev != 0 || loads != 0 {
+		t.Errorf("default threshold spilled at toy scale: %d evictions, %d loads", ev, loads)
+	}
+	for i := 0; i < 100; i++ {
+		if got, want := sp.At(i), vec(i, 3); !equalCounts(got, want) {
+			t.Fatalf("At(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// The RAM-set API must be unaffected: stats are zero, pinning and
+// release are no-ops.
+func TestRAMCountSetSpillNoops(t *testing.T) {
+	s := NewCountSet(3, 0)
+	s.Insert([]int64{1, 2, 3})
+	s.PinRange(0, 1)
+	s.Release()
+	if s.Spilling() {
+		t.Error("RAM set reports Spilling()")
+	}
+	if ev, loads := s.SpillStats(); ev != 0 || loads != 0 {
+		t.Errorf("RAM set spill stats (%d,%d)", ev, loads)
+	}
+	if got := s.At(0); !equalCounts(got, []int64{1, 2, 3}) {
+		t.Errorf("At(0) = %v after Release", got)
+	}
+}
+
+func ExampleNewSpillingCountSet() {
+	dir, _ := os.MkdirTemp("", "spill-example-")
+	defer os.RemoveAll(dir)
+	s, _ := NewSpillingCountSet(2, 0, SpillOptions{Dir: dir, Threshold: 4 << 10})
+	defer s.Release()
+	id, added := s.Insert([]int64{3, 4})
+	fmt.Println(id, added, s.Spilling())
+	// Output: 0 true true
+}

@@ -2,6 +2,7 @@ package petri
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 
 	"repro/internal/conf"
@@ -23,13 +24,36 @@ type Budget struct {
 	// MaxDepth caps the exploration depth (word length). Zero means
 	// unlimited.
 	MaxDepth int
-	// Workers enables the level-synchronized parallel BFS: levels of
-	// the closure wide enough to amortize the fan-out are expanded by
-	// this many workers, with frontiers merged in worker-index order so
-	// node ids — and hence the whole ReachSet, including truncation
-	// points — are byte-identical to the sequential exploration. 0 or 1
-	// means sequential.
+	// Workers sets the worker count of the level-synchronized parallel
+	// BFS: levels of the closure wide enough to amortize the fan-out
+	// are expanded by this many workers, with frontiers merged in
+	// worker-index order so node ids — and hence the whole ReachSet,
+	// including truncation points — are byte-identical for every worker
+	// count. 0 means auto-detect (GOMAXPROCS); 1 forces the sequential
+	// exploration.
 	Workers int
+	// SpillDir, when non-empty, runs the closure's count arena
+	// out-of-core: arena pages are flushed to bucket files under a
+	// private subdirectory of SpillDir once the resident footprint
+	// exceeds SpillThreshold, and reloaded on demand. The resulting
+	// ReachSet is node-for-node identical to the in-RAM one; call its
+	// Release method to delete the spill files.
+	SpillDir string
+	// SpillThreshold is the resident-arena byte budget for spill mode.
+	// Zero means conf.DefaultSpillThreshold.
+	SpillThreshold int64
+}
+
+// EffectiveWorkers resolves the Workers field: 0 auto-detects
+// GOMAXPROCS, anything else is clamped below at 1.
+func (b Budget) EffectiveWorkers() int {
+	if b.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if b.Workers < 1 {
+		return 1
+	}
+	return b.Workers
 }
 
 // DefaultMaxConfigs is the visited-set cap used when Budget.MaxConfigs
@@ -90,9 +114,19 @@ func (n *Net) Reach(from conf.Config, budget Budget) (*ReachSet, error) {
 		return nil, errors.New("petri: initial configuration over wrong space")
 	}
 	d := n.space.Len()
+	set := conf.NewCountSet(d, 256)
+	if budget.SpillDir != "" {
+		var err error
+		set, err = conf.NewSpillingCountSet(d, 256, conf.SpillOptions{
+			Dir: budget.SpillDir, Threshold: budget.SpillThreshold,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	rs := &ReachSet{
 		net:      n,
-		set:      conf.NewCountSet(d, 256),
+		set:      set,
 		Complete: true,
 	}
 	rs.set.Insert(from.RawCounts())
@@ -108,7 +142,7 @@ func (n *Net) Reach(from conf.Config, budget Budget) (*ReachSet, error) {
 		maxConfigs: budget.maxConfigs(), // int32-clamped
 		scratch:    make([]int64, d),
 	}
-	workers := budget.Workers
+	workers := budget.EffectiveWorkers()
 
 	// The BFS queue is the node id sequence itself; depths are
 	// monotone, so each level is a contiguous id range.
@@ -124,6 +158,11 @@ func (n *Net) Reach(from conf.Config, budget Budget) (*ReachSet, error) {
 		for levelEnd < len(rs.depth) && rs.depth[levelEnd] == depth {
 			levelEnd++
 		}
+		// Under spill, hold the level's pages resident through the
+		// expansion: concurrent workers read At on exactly this range,
+		// and the sequential path keeps a head's slice live across the
+		// resolve calls that could otherwise evict its page.
+		rs.set.PinRange(level, levelEnd)
 		var ok bool
 		if workers > 1 && levelEnd-level >= parallelWidth(workers) {
 			ok = e.expandLevelParallel(level, levelEnd, workers)
@@ -361,9 +400,26 @@ func (e *BudgetError) Unwrap() error { return ErrBudget }
 // Len returns the number of configurations in the closure.
 func (rs *ReachSet) Len() int { return rs.set.Len() }
 
+// Release deletes the closure's spill files when the exploration ran
+// out-of-core (Budget.SpillDir); the ReachSet must not be used
+// afterwards. For in-RAM closures it is a no-op, so callers can
+// defer it unconditionally.
+func (rs *ReachSet) Release() { rs.set.Release() }
+
+// SpillStats reports the closure arena's spill traffic (pages
+// evicted, pages loaded); both zero for in-RAM closures.
+func (rs *ReachSet) SpillStats() (evictions, loads int) { return rs.set.SpillStats() }
+
+// ArenaBytes returns the closure arena's total footprint in bytes
+// (resident + spilled).
+func (rs *ReachSet) ArenaBytes() int64 { return rs.set.ArenaBytes() }
+
 // Config returns the configuration with the given node id as a
 // zero-copy view into the closure arena. The counts must not be
-// mutated; the view stays valid for the life of the ReachSet.
+// mutated. For in-RAM closures the view stays valid for the life of
+// the ReachSet; for spilled closures it is only valid until the next
+// Config/ID/Contains call, which may evict the page behind it — use
+// Clone to detach a configuration that must outlive the iteration.
 func (rs *ReachSet) Config(id int) conf.Config {
 	return conf.View(rs.net.space, rs.set.At(id))
 }

@@ -261,7 +261,9 @@ func TestReachParallelMatchesSequential(t *testing.T) {
 			if name == "pump(unbounded)" && bname == "default" {
 				budget.MaxConfigs = 1 << 10
 			}
-			seq, seqErr := inst.net.Reach(inst.from, budget)
+			seqBudget := budget
+			seqBudget.Workers = 1 // force the sequential exploration as baseline
+			seq, seqErr := inst.net.Reach(inst.from, seqBudget)
 			for _, workers := range []int{1, 2, 4, 8} {
 				t.Run(fmt.Sprintf("%s/%s/w%d", name, bname, workers), func(t *testing.T) {
 					b := budget
@@ -311,7 +313,7 @@ func TestReachParallelMatchesSequential(t *testing.T) {
 // threshold), so pin a case known to have wide levels.
 func TestReachParallelEngagesOnWideClosure(t *testing.T) {
 	net, from := wideSplitNet(t, 80)
-	seq, err := net.Reach(from, petri.Budget{MaxConfigs: 1 << 18})
+	seq, err := net.Reach(from, petri.Budget{MaxConfigs: 1 << 18, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,5 +338,70 @@ func TestReachParallelEngagesOnWideClosure(t *testing.T) {
 	if par.Len() != seq.Len() || par.NumEdges() != seq.NumEdges() {
 		t.Fatalf("parallel (%d nodes, %d edges) != sequential (%d nodes, %d edges)",
 			par.Len(), par.NumEdges(), seq.Len(), seq.NumEdges())
+	}
+}
+
+// A spill-enabled Reach must produce a ReachSet node-for-node
+// identical to the in-RAM one — same ids, depths, edges and shortest
+// words — for every worker count, while actually paging the arena to
+// disk (the threshold is set far below the closure's footprint).
+func TestReachSpilledMatchesRAM(t *testing.T) {
+	for name, inst := range e4e8Instances(t) {
+		budget := petri.Budget{MaxConfigs: 1 << 14, Workers: 1}
+		if name == "pump(unbounded)" {
+			budget.MaxConfigs = 1 << 10
+		}
+		ram, ramErr := inst.net.Reach(inst.from, budget)
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/w%d", name, workers), func(t *testing.T) {
+				b := budget
+				b.Workers = workers
+				b.SpillDir = t.TempDir()
+				b.SpillThreshold = 8 << 10
+				sp, spErr := inst.net.Reach(inst.from, b)
+				if sp != nil {
+					defer sp.Release()
+				}
+				if (ramErr != nil) != (spErr != nil) {
+					t.Fatalf("err: ram %v, spilled %v", ramErr, spErr)
+				}
+				if sp.Complete != ram.Complete || sp.Len() != ram.Len() {
+					t.Fatalf("Complete/Len: spilled (%v, %d), ram (%v, %d)",
+						sp.Complete, sp.Len(), ram.Complete, ram.Len())
+				}
+				if ram.ArenaBytes() > b.SpillThreshold {
+					if ev, _ := sp.SpillStats(); ev == 0 {
+						t.Errorf("arena of %d bytes exceeds threshold %d but never spilled",
+							sp.ArenaBytes(), b.SpillThreshold)
+					}
+				}
+				for id := 0; id < ram.Len(); id++ {
+					if !sp.Config(id).Equal(ram.Config(id)) {
+						t.Fatalf("node %d: spilled %v, ram %v", id, sp.Config(id), ram.Config(id))
+					}
+					if sp.Depth(id) != ram.Depth(id) {
+						t.Fatalf("node %d depth: spilled %d, ram %d", id, sp.Depth(id), ram.Depth(id))
+					}
+					se, re := sp.Edges(id), ram.Edges(id)
+					if len(se) != len(re) {
+						t.Fatalf("node %d: %d edges spilled, %d ram", id, len(se), len(re))
+					}
+					for i := range se {
+						if se[i] != re[i] {
+							t.Fatalf("node %d edge %d: spilled %+v, ram %+v", id, i, se[i], re[i])
+						}
+					}
+					sw, rw := sp.PathTo(id), ram.PathTo(id)
+					if len(sw) != len(rw) {
+						t.Fatalf("node %d word: spilled %v, ram %v", id, sw, rw)
+					}
+					for i := range sw {
+						if sw[i] != rw[i] {
+							t.Fatalf("node %d word: spilled %v, ram %v", id, sw, rw)
+						}
+					}
+				}
+			})
+		}
 	}
 }

@@ -62,9 +62,10 @@ func (LogCost) TrialCost(x int64) int64 {
 }
 
 // DefaultCost picks the scheduler-aware model: count-batched trials
-// cost ~log x, every exact per-interaction scheduler ~x.
+// (countbatch, and the hybrid auto scheduler that batches whenever it
+// pays) cost ~log x, every exact per-interaction scheduler ~x.
 func DefaultCost(scheduler string) CostModel {
-	if scheduler == "countbatch" {
+	if scheduler == "countbatch" || scheduler == "auto" {
 		return LogCost{}
 	}
 	return LinearCost{}

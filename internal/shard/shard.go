@@ -103,7 +103,7 @@ func (sw *SweepSpec) Validate() error {
 	if sw.MaxSteps < 0 || sw.Patience < 0 || sw.Batch < 0 {
 		return errors.New("shard: negative max_steps/patience/batch")
 	}
-	if _, err := sim.SchedulerByName(sw.Scheduler, sw.Batch, sw.Epsilon); err != nil {
+	if _, err := sim.SchedulerByName(sw.Scheduler, sw.Batch, sw.Epsilon, 0); err != nil {
 		return err
 	}
 	return nil
@@ -128,9 +128,10 @@ func (sw *SweepSpec) Build() (*core.Protocol, int64, error) {
 }
 
 // Options translates the spec into sim.Options. Workers bounds the
-// per-point trial pool (0 = GOMAXPROCS).
+// per-point trial pool and the scheduler's span-parallel draw (0 =
+// GOMAXPROCS); results are byte-identical for any value.
 func (sw *SweepSpec) Options(workers int) (sim.Options, error) {
-	sched, err := sim.SchedulerByName(sw.Scheduler, sw.Batch, sw.Epsilon)
+	sched, err := sim.SchedulerByName(sw.Scheduler, sw.Batch, sw.Epsilon, workers)
 	if err != nil {
 		return sim.Options{}, err
 	}

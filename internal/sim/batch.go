@@ -52,15 +52,20 @@ func SweepRange(ctx context.Context, p *core.Protocol, inputState string, xs []i
 	if workers > len(xs) {
 		workers = len(xs)
 	}
-	// Keep the two-level pool product at ~GOMAXPROCS: each point-worker
-	// gets an equal share of trial-workers unless the caller pinned
-	// Options.Workers explicitly.
+	// Keep the two-level pool product at ~GOMAXPROCS unless the caller
+	// pinned Options.Workers explicitly: the outer pool takes one
+	// worker per point (capped at GOMAXPROCS above), and each
+	// point-worker's RunRange gets the ceiling share of trial-workers,
+	// so the product covers every core. Ceiling, not floor: the floor
+	// division starved the inner pools to zero whenever the outer pool
+	// took every core (g points on g cores → g/g…, but also 2g points
+	// capped at g workers → g/g = 1 is correct while g+1 points capped
+	// at g gave 0 before the old clamp kicked in — and any remainder
+	// under-used the machine).
 	inner := opts
 	if inner.Workers <= 0 {
-		inner.Workers = runtime.GOMAXPROCS(0) / workers
-		if inner.Workers < 1 {
-			inner.Workers = 1
-		}
+		g := runtime.GOMAXPROCS(0)
+		inner.Workers = (g + workers - 1) / workers
 	}
 	done := ctx.Done()
 	jobs := make(chan int)

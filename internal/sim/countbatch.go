@@ -3,6 +3,9 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // CountBatched is the count-based batch scheduler — tau-leaping for
@@ -44,6 +47,17 @@ type CountBatched struct {
 	// selection yields less, the stepper steps exactly instead. 0 means
 	// DefaultMinBatch.
 	MinBatch int
+	// Workers bounds the span-parallel multinomial draw on protocols
+	// with more than spanSize transitions: the batch is first split
+	// across fixed transition spans by a serial multinomial on the span
+	// weight totals, then each span draws its conditional binomials on
+	// a private RNG stream derived positionally from one fresh 64-bit
+	// draw. The draw structure never depends on the worker count, so
+	// the sampled fires — and hence whole runs — are byte-identical for
+	// any value. 0 means auto-detect (GOMAXPROCS); 1 forces the serial
+	// draw. Protocols with at most spanSize transitions always use the
+	// plain serial multinomial.
+	Workers int
 }
 
 // DefaultEpsilon is the drift tolerance used when CountBatched.Epsilon
@@ -61,6 +75,13 @@ const maxBatch = int64(1) << 40
 // maxRejects bounds the halve-and-retry loop on negativity rejections
 // before a Step degrades to exact stepping.
 const maxRejects = 4
+
+// spanSize is the fixed transition-span width of the parallel
+// multinomial draw. It is independent of the worker count — spans are
+// a property of the protocol's transition list, workers only schedule
+// them — which is what keeps sampled fires byte-identical across
+// worker counts.
+const spanSize = 256
 
 // Name implements Scheduler.
 func (CountBatched) Name() string { return "countbatch" }
@@ -91,27 +112,43 @@ func (cb CountBatched) Attach(st *State) (Stepper, error) {
 			con[e.State] = true
 		}
 	}
-	return &countStepper{
-		st:    st,
-		eps:   eps,
-		min:   min,
-		fires: make([]int64, len(st.weights)),
-		disp:  make([]int64, d),
-		mu:    make([]float64, d),
-		sig:   make([]float64, d),
-		con:   con,
-	}, nil
+	workers := cb.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &countStepper{
+		st:      st,
+		eps:     eps,
+		min:     min,
+		workers: workers,
+		fires:   make([]int64, len(st.weights)),
+		disp:    make([]int64, d),
+		mu:      make([]float64, d),
+		sig:     make([]float64, d),
+		con:     con,
+	}
+	if nspans := (len(st.weights) + spanSize - 1) / spanSize; nspans > 1 {
+		s.spanW = make([]float64, nspans)
+		s.spanN = make([]int64, nspans)
+	}
+	return s, nil
 }
 
 type countStepper struct {
-	st    *State
-	eps   float64
-	min   int
-	fires []int64   // scratch: multinomial fire count per transition
-	disp  []int64   // scratch: aggregate displacement per state
-	mu    []float64 // scratch: per-state drift per interaction
-	sig   []float64 // scratch: per-state variance per interaction
-	con   []bool    // static: state is read by some precondition
+	st      *State
+	eps     float64
+	min     int
+	workers int       // span-draw worker bound (resolved, ≥ 1)
+	fires   []int64   // scratch: multinomial fire count per transition
+	disp    []int64   // scratch: aggregate displacement per state
+	mu      []float64 // scratch: per-state drift per interaction
+	sig     []float64 // scratch: per-state variance per interaction
+	con     []bool    // static: state is read by some precondition
+	spanW   []float64 // scratch: per-span weight totals (nil: single span)
+	spanN   []int64   // scratch: per-span batch shares
 }
 
 func (s *countStepper) Step(rng *RNG, limit int) (int, bool) {
@@ -124,13 +161,84 @@ func (s *countStepper) Step(rng *RNG, limit int) (int, bool) {
 		b = int64(limit)
 	}
 	for attempt := 0; b >= int64(s.min) && attempt < maxRejects; attempt++ {
-		rng.Multinomial(b, st.weights, s.fires)
+		s.drawFires(rng, b)
 		if st.ApplyAggregate(s.fires, s.disp) {
 			return int(b), true
 		}
 		b /= 2
 	}
 	return s.exact(rng, limit)
+}
+
+// drawFires samples the batch's per-transition fire counts into
+// s.fires. Protocols within one span use the plain serial multinomial;
+// wider ones split the batch across fixed transition spans — a serial
+// multinomial over the span weight totals from the run's main stream,
+// then per-span conditional binomials on streams derived positionally
+// from one fresh 64-bit draw. Workers only schedule spans, so the draw
+// is byte-identical for every worker count.
+func (s *countStepper) drawFires(rng *RNG, b int64) {
+	w := s.st.weights
+	if s.spanW == nil {
+		rng.Multinomial(b, w, s.fires)
+		return
+	}
+	nspans := len(s.spanW)
+	for si := 0; si < nspans; si++ {
+		lo, hi := si*spanSize, (si+1)*spanSize
+		if hi > len(w) {
+			hi = len(w)
+		}
+		var t float64
+		for _, x := range w[lo:hi] {
+			if x > 0 {
+				t += x
+			}
+		}
+		s.spanW[si] = t
+	}
+	rng.Multinomial(b, s.spanW, s.spanN)
+	base := int64(rng.Uint64())
+	workers := s.workers
+	if workers > nspans {
+		workers = nspans
+	}
+	if workers <= 1 {
+		var sub RNG
+		for si := 0; si < nspans; si++ {
+			s.drawSpan(&sub, base, si)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sub RNG
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= nspans {
+					return
+				}
+				s.drawSpan(&sub, base, si)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// drawSpan draws span si's share of the batch into its (disjoint)
+// slice of s.fires on the positional stream (base, si).
+func (s *countStepper) drawSpan(sub *RNG, base int64, si int) {
+	w := s.st.weights
+	lo, hi := si*spanSize, (si+1)*spanSize
+	if hi > len(w) {
+		hi = len(w)
+	}
+	sub.Seed(DeriveSeed(base, si))
+	sub.Multinomial(s.spanN[si], w[lo:hi], s.fires[lo:hi])
 }
 
 // exact advances up to MinBatch interactions one at a time on the
@@ -142,6 +250,13 @@ func (s *countStepper) exact(rng *RNG, limit int) (int, bool) {
 	if k > limit {
 		k = limit
 	}
+	return s.exactN(rng, k)
+}
+
+// exactN advances up to k interactions one at a time, reporting
+// (fired, fired > 0) if the configuration deadlocks mid-way. The
+// hybrid Auto stepper drives longer exact phases through it directly.
+func (s *countStepper) exactN(rng *RNG, k int) (int, bool) {
 	for fired := 0; fired < k; fired++ {
 		ti, ok := s.st.Sample(rng)
 		if !ok {

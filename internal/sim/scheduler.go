@@ -215,10 +215,12 @@ func (s *batchedStepper) Step(rng *RNG, limit int) (int, bool) {
 }
 
 // SchedulerByName resolves a CLI scheduler name. batch applies to the
-// batched scheduler's batch size and to countbatch's aggregation
+// batched scheduler's batch size and to countbatch/auto's aggregation
 // threshold MinBatch (0 means the scheduler's default); eps applies to
-// countbatch's drift tolerance (0 means DefaultEpsilon).
-func SchedulerByName(name string, batch int, eps float64) (Scheduler, error) {
+// countbatch/auto's drift tolerance (0 means DefaultEpsilon); workers
+// bounds countbatch/auto's span-parallel multinomial draw (0 means
+// auto-detect GOMAXPROCS — results are byte-identical either way).
+func SchedulerByName(name string, batch int, eps float64, workers int) (Scheduler, error) {
 	switch name {
 	case "", "weighted":
 		return Weighted{}, nil
@@ -227,8 +229,10 @@ func SchedulerByName(name string, batch int, eps float64) (Scheduler, error) {
 	case "batched":
 		return Batched{K: batch}, nil
 	case "countbatch":
-		return CountBatched{Epsilon: eps, MinBatch: batch}, nil
+		return CountBatched{Epsilon: eps, MinBatch: batch, Workers: workers}, nil
+	case "auto":
+		return Auto{Epsilon: eps, MinBatch: batch, Workers: workers}, nil
 	default:
-		return nil, fmt.Errorf("sim: unknown scheduler %q (have weighted, uniform, batched, countbatch)", name)
+		return nil, fmt.Errorf("sim: unknown scheduler %q (have weighted, uniform, batched, countbatch, auto)", name)
 	}
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func schedulers() []Scheduler {
-	return []Scheduler{Weighted{}, UniformPairs{}, Batched{K: 64}, CountBatched{}}
+	return []Scheduler{Weighted{}, UniformPairs{}, Batched{K: 64}, CountBatched{}, Auto{}}
 }
 
 // All three schedulers must agree on what the protocols compute: this
@@ -149,8 +149,9 @@ func TestSchedulerByName(t *testing.T) {
 		"uniform":    "uniform",
 		"batched":    "batched",
 		"countbatch": "countbatch",
+		"auto":       "auto",
 	} {
-		s, err := SchedulerByName(name, 0, 0)
+		s, err := SchedulerByName(name, 0, 0, 0)
 		if err != nil {
 			t.Fatalf("SchedulerByName(%q): %v", name, err)
 		}
@@ -158,7 +159,7 @@ func TestSchedulerByName(t *testing.T) {
 			t.Errorf("SchedulerByName(%q).Name() = %q, want %q", name, s.Name(), want)
 		}
 	}
-	if _, err := SchedulerByName("nope", 0, 0); err == nil {
+	if _, err := SchedulerByName("nope", 0, 0, 0); err == nil {
 		t.Error("unknown scheduler name accepted")
 	}
 }

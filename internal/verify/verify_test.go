@@ -2,6 +2,7 @@ package verify
 
 import (
 	"errors"
+	"os"
 	"runtime"
 	"testing"
 
@@ -190,5 +191,79 @@ func TestRangeParallelBudgetError(t *testing.T) {
 	_, err = Counting(p, "i", 4, 7, petri.Budget{MaxConfigs: 3})
 	if !errors.Is(err, petri.ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// Range reports must be byte-identical for every worker budget: the
+// outer input fan-out collects in enumeration order and the inner
+// closure BFS is byte-identical per worker count, so only the wall
+// clock may differ.
+func TestRangeDeterministicAcrossWorkers(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	var ref *RangeResult
+	for _, workers := range []int{1, 2, 4, 8} {
+		b := budget
+		b.Workers = workers
+		res, err := Counting(p, "i", 4, 7, b)
+		if err != nil {
+			t.Fatalf("w=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.MaxConfigs != ref.MaxConfigs || len(res.Reports) != len(ref.Reports) || len(res.Failures) != len(ref.Failures) {
+			t.Fatalf("w=%d: (max %d, %d reports, %d failures) vs w=1 (max %d, %d, %d)",
+				workers, res.MaxConfigs, len(res.Reports), len(res.Failures),
+				ref.MaxConfigs, len(ref.Reports), len(ref.Failures))
+		}
+		for i := range res.Reports {
+			got, want := res.Reports[i], ref.Reports[i]
+			if !got.Input.Equal(want.Input) || got.Expected != want.Expected || got.OK != want.OK ||
+				got.Configs != want.Configs || got.StableConfigs != want.StableConfigs {
+				t.Errorf("w=%d report %d: %+v vs w=1 %+v", workers, i, got, want)
+			}
+		}
+	}
+}
+
+// A spill-enabled verification must reach the same verdicts as the
+// in-RAM one, and must leave no spill files behind (Input releases
+// each closure).
+func TestRangeSpilledMatchesRAM(t *testing.T) {
+	p, err := counting.FlockOfBirds(4)
+	if err != nil {
+		t.Fatalf("FlockOfBirds: %v", err)
+	}
+	ram, err := Counting(p, "i", 4, 6, budget)
+	if err != nil {
+		t.Fatalf("ram: %v", err)
+	}
+	dir := t.TempDir()
+	b := budget
+	b.SpillDir = dir
+	b.SpillThreshold = 4 << 10
+	sp, err := Counting(p, "i", 4, 6, b)
+	if err != nil {
+		t.Fatalf("spilled: %v", err)
+	}
+	if sp.MaxConfigs != ram.MaxConfigs || len(sp.Reports) != len(ram.Reports) || !sp.OK() || !ram.OK() {
+		t.Fatalf("spilled (max %d, %d reports, ok %v) vs ram (max %d, %d, ok %v)",
+			sp.MaxConfigs, len(sp.Reports), sp.OK(), ram.MaxConfigs, len(ram.Reports), ram.OK())
+	}
+	for i := range sp.Reports {
+		if sp.Reports[i].Configs != ram.Reports[i].Configs || sp.Reports[i].StableConfigs != ram.Reports[i].StableConfigs {
+			t.Errorf("report %d: spilled %+v vs ram %+v", i, sp.Reports[i], ram.Reports[i])
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("spill dir not reclaimed after verification: %v", entries)
 	}
 }
