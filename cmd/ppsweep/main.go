@@ -30,7 +30,14 @@
 // shared directory and the fleet leases shards, heartbeats, steals
 // expired leases from dead workers (per-shard attempt cap), resumes
 // from their cell partials, and — when every shard has an artifact —
-// merges. merge verifies the artifacts belong to one sweep, detects
+// merges. Every persisted artifact carries a content checksum,
+// verified on read; corrupt files are quarantined into corrupt/ and
+// recomputed, transient I/O errors are retried with jittered backoff,
+// and the counters printed on exit say how often each happened.
+// dispatch exits 0 on a drained queue, 3 when shards failed
+// terminally, 4 when interrupted, 5 when queue I/O gave up after
+// retries, 1 otherwise. merge verifies the artifacts belong to one
+// sweep, detects
 // overlapping or missing shards and mixed schema versions, folds the
 // mergeable accumulators, and writes a merged document that is
 // bit-identical to what an unsharded run of the same spec would have
@@ -53,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faultfs"
 	"repro/internal/registry"
 	"repro/internal/shard"
 )
@@ -62,7 +70,26 @@ func main() {
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ppsweep:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode maps failure classes to distinct exit codes so wrapper
+// scripts and CI can branch without parsing stderr: 3 = one or more
+// shards failed terminally (the work keeps dying — inspect
+// failed-*.json), 4 = interrupted/cancelled (rerun resumes), 5 = queue
+// storage gave up after transient retries (fix the filesystem, rerun),
+// 1 = everything else (bad flags, corrupt plan, …).
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, shard.ErrShardsFailed):
+		return 3
+	case errors.Is(err, context.Canceled):
+		return 4
+	case errors.Is(err, shard.ErrQueueIO):
+		return 5
+	default:
+		return 1
 	}
 }
 
@@ -171,9 +198,10 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	var art *shard.Artifact
+	var counters shard.Counters
 	var err error
 	if *partials != "" {
-		art, err = shard.RunResumable(ctx, &m, *shardID, *workers, *partials)
+		art, counters, err = shard.RunResumable(ctx, &m, *shardID, *workers, *partials)
 	} else {
 		art, err = shard.Run(ctx, &m, *shardID, *workers)
 	}
@@ -184,7 +212,7 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 	if path == "" {
 		path = fmt.Sprintf("part-%s.json", *shardID)
 	}
-	if err := writeJSON(path, art); err != nil {
+	if err := shard.WriteArtifact(path, art); err != nil {
 		return err
 	}
 	trials := 0
@@ -192,6 +220,9 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 		trials += pt.Stats.Trials
 	}
 	fmt.Fprintf(out, "shard %s: %d trials over %d cells -> %s\n", *shardID, trials, len(art.Points), path)
+	if *partials != "" {
+		fmt.Fprintf(out, "  %s\n", counters)
+	}
 	return nil
 }
 
@@ -206,11 +237,16 @@ func runDispatch(ctx context.Context, args []string, out io.Writer) error {
 		planPath    = fs.String("plan", "plan.json", "manifest path (from ppsweep plan)")
 		dir         = fs.String("dir", "", "shared queue directory (leases, artifacts, cell partials)")
 		workers     = fs.Int("workers", 0, "worker budget for the trial pool and scheduler draws (0 = all cores); results are identical for any value")
-		leaseTTL    = fs.Duration("lease-ttl", time.Minute, "steal a shard whose lease heartbeat is older than this (must exceed cross-host clock skew)")
+		leaseTTL    = fs.Duration("lease-ttl", time.Minute, "steal a shard whose lease heartbeat sequence number has not advanced for this long of local time")
 		heartbeat   = fs.Duration("heartbeat", 0, "lease refresh period (0 = lease-ttl/4)")
 		maxAttempts = fs.Int("max-attempts", 3, "per-shard acquisition cap before the shard is marked failed")
-		poll        = fs.Duration("poll", 500*time.Millisecond, "queue rescan period while peers hold every open shard")
+		poll        = fs.Duration("poll", 500*time.Millisecond, "initial queue rescan delay while peers hold every open shard (backs off with jitter)")
+		pollMax     = fs.Duration("poll-max", 0, "idle rescan backoff cap (0 = 8×poll)")
+		retries     = fs.Int("retry-attempts", 0, "tries per queue operation before giving up on transient I/O errors (0 = 5)")
+		retryBase   = fs.Duration("retry-base", 0, "first transient-retry backoff, doubling with full jitter (0 = 20ms)")
 		failAfter   = fs.Int("fail-after-cells", 0, "TESTING: die after persisting N cells, leaving lease and partials (simulates SIGKILL)")
+		chaosSeed   = fs.Int64("chaos-seed", 0, "TESTING: inject a deterministic fault schedule derived from this seed into queue I/O")
+		chaosFaults = fs.Int("chaos-faults", 0, "TESTING: number of faults in the -chaos-seed schedule (0 with a seed = 16)")
 		outPath     = fs.String("o", "", "also merge the drained queue to this path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -223,20 +259,41 @@ func runDispatch(ctx context.Context, args []string, out io.Writer) error {
 	if err := readJSON(*planPath, &m); err != nil {
 		return err
 	}
-	completed, err := shard.Dispatch(ctx, &m, shard.DispatchOptions{
+	var fsys faultfs.FS
+	if *chaosSeed != 0 || *chaosFaults > 0 {
+		n := *chaosFaults
+		if n <= 0 {
+			n = 16
+		}
+		faulty := faultfs.NewFaulty(faultfs.OS(), faultfs.RandomSchedule(*chaosSeed, n))
+		defer func() {
+			for _, f := range faulty.Fired() {
+				fmt.Fprintf(out, "chaos: injected %s\n", f)
+			}
+		}()
+		fsys = faulty
+	}
+	res, err := shard.Dispatch(ctx, &m, shard.DispatchOptions{
 		Dir:            *dir,
 		Workers:        *workers,
 		LeaseTTL:       *leaseTTL,
 		Heartbeat:      *heartbeat,
 		MaxAttempts:    *maxAttempts,
 		Poll:           *poll,
+		PollMax:        *pollMax,
+		RetryAttempts:  *retries,
+		RetryBase:      *retryBase,
+		FS:             fsys,
 		FailAfterCells: *failAfter,
 	})
+	// Counters surface on every exit path — a failed dispatch is
+	// exactly when operators need the degradation story.
+	fmt.Fprintf(out, "dispatch counters: %s\n", res.Counters)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "dispatch drained: this worker completed %d of %d shards %v\n",
-		len(completed), len(m.Shards), completed)
+		len(res.Completed), len(m.Shards), res.Completed)
 	if *outPath == "" {
 		return nil
 	}
@@ -267,11 +324,11 @@ func runMerge(args []string, out io.Writer) error {
 	}
 	arts := make([]*shard.Artifact, 0, fs.NArg())
 	for _, path := range fs.Args() {
-		var a shard.Artifact
-		if err := readJSON(path, &a); err != nil {
+		a, err := shard.ReadArtifact(path)
+		if err != nil {
 			return err
 		}
-		arts = append(arts, &a)
+		arts = append(arts, a)
 	}
 	merged, err := shard.Merge(arts)
 	if err != nil {

@@ -153,6 +153,9 @@ func TestMergeErrorPathsCLI(t *testing.T) {
 			t.Fatal(err)
 		}
 		mutate(&a)
+		// Strip the checksum: a content edit under the old sum would be
+		// flagged as corruption before the error path under test fires.
+		a.Checksum = ""
 		out := filepath.Join(t.TempDir(), "mutated.json")
 		data, err = json.MarshalIndent(&a, "", "  ")
 		if err != nil {

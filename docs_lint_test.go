@@ -19,8 +19,11 @@ func TestPackageDocsStateInvariants(t *testing.T) {
 	requirements := map[string][]string{
 		// The seed contract and accumulator mergeability (PRs 1–3).
 		"internal/sim": {"positional", "mergeable", "DeriveSeed", "associative"},
-		// The sharding exactness contract and the dispatch layer (PRs 3, 5).
-		"internal/shard": {"positional", "mergeable", "bit-identical", "lease"},
+		// The sharding exactness contract and the dispatch layer (PRs 3, 5),
+		// plus the integrity/liveness hardening (PR 7).
+		"internal/shard": {"positional", "mergeable", "bit-identical", "lease", "checksum", "quarantine", "heartbeat sequence"},
+		// The injectable I/O seam and the error taxonomy (PR 7).
+		"internal/faultfs": {"seam", "schedule", "Transient", "fsync", "reproducibility"},
 		// Config value semantics and CountSet arena ownership (PRs 1, 4).
 		"internal/conf": {"InPlace", "arena", "insertion order"},
 		// Arena/CSR ownership and deterministic parallel BFS (PR 4).

@@ -3,9 +3,30 @@ package conf
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faultfs"
 )
+
+// SpillError is the typed failure of the out-of-core arena: a bucket
+// file that could not be written (disk full — errors.Is(err,
+// syscall.ENOSPC) sees through it), could not be read back, or read
+// back with contents that do not match the CRC recorded at flush time
+// (torn write, bit rot, a truncated file). The arena's fast paths
+// (at/pin inside hash probes) cannot return errors, so they panic
+// with a *SpillError; the closure drivers (petri.Reach) recover it at
+// their boundary and degrade to an ordinary returned error instead of
+// crashing the process.
+type SpillError struct {
+	Op   string // "write", "read", "verify"
+	Path string
+	Err  error
+}
+
+func (e *SpillError) Error() string { return fmt.Sprintf("conf: spill %s %s: %v", e.Op, e.Path, e.Err) }
+func (e *SpillError) Unwrap() error { return e.Err }
 
 // SpillOptions configures a CountSet's out-of-core mode: once the
 // resident arena grows past Threshold bytes, cold arena pages are
@@ -23,6 +44,9 @@ type SpillOptions struct {
 	// Threshold is the resident-arena byte budget above which full
 	// cold pages are evicted to disk. Zero means DefaultSpillThreshold.
 	Threshold int64
+	// FS is the filesystem seam bucket I/O goes through; nil means the
+	// real OS. Fault-injection tests pass a faultfs.Faulty here.
+	FS faultfs.FS
 }
 
 // DefaultSpillThreshold is the resident-arena budget used when
@@ -44,6 +68,7 @@ type spillArena struct {
 	pageBytes int64
 	threshold int64
 	dir       string // owned temp dir, removed by Release
+	fsys      faultfs.FS
 
 	pages    []spillPage
 	resident int64
@@ -59,7 +84,15 @@ type spillArena struct {
 type spillPage struct {
 	data    []int64
 	flushed bool // the bucket file holds the page's final contents
+	// size and sum are the bucket file's byte length and CRC-32C,
+	// recorded at flush and verified at every load — a torn or rotted
+	// bucket becomes a typed SpillError, never silently wrong closure
+	// members.
+	size int
+	sum  uint32
 }
+
+var spillCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // spillPageTarget bounds one bucket file's payload. Small thresholds
 // shrink pages so eviction stays meaningful in tests; the floor keeps
@@ -98,12 +131,17 @@ func newSpillArena(width int, opts SpillOptions) (*spillArena, error) {
 	if pageVecs < 1 {
 		pageVecs = 1
 	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
 	return &spillArena{
 		width:     width,
 		pageVecs:  pageVecs,
 		pageBytes: int64(pageVecs) * vecBytes,
 		threshold: threshold,
 		dir:       dir,
+		fsys:      fsys,
 	}, nil
 }
 
@@ -190,33 +228,52 @@ func (a *spillArena) bucketPath(pi int) string {
 }
 
 // flush writes page pi's vectors to its bucket file as little-endian
-// int64 words. Pages are only flushed when full, so the file is the
-// page's final contents and is written exactly once.
+// int64 words, recording the payload's byte length and CRC-32C for
+// read-back verification. Pages are only flushed when full, so the
+// file is the page's final contents and is written exactly once. A
+// write failure (disk full included) panics with a *SpillError the
+// closure driver recovers into a returned error.
 func (a *spillArena) flush(pi int) {
 	p := &a.pages[pi]
 	buf := make([]byte, 8*len(p.data))
 	for i, v := range p.data {
 		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
 	}
-	if err := os.WriteFile(a.bucketPath(pi), buf, 0o644); err != nil {
-		panic(fmt.Sprintf("conf: spill write %s: %v", a.bucketPath(pi), err))
+	if err := a.fsys.WriteFile(a.bucketPath(pi), buf, 0o644); err != nil {
+		panic(&SpillError{Op: "write", Path: a.bucketPath(pi), Err: err})
 	}
+	p.size = len(buf)
+	p.sum = crc32.Checksum(buf, spillCRC)
 	p.flushed = true
 }
 
+// load reads page pi back and verifies it byte for byte against the
+// length and CRC recorded at flush: a truncated, torn or rotted
+// bucket file surfaces as a typed *SpillError instead of silently
+// wrong closure members (which checkTiling-style invariants could
+// never catch — vectors feed hash probes directly).
 func (a *spillArena) load(pi int) {
 	if a.released {
 		panic("conf: CountSet used after Release")
 	}
-	buf, err := os.ReadFile(a.bucketPath(pi))
+	p := &a.pages[pi]
+	buf, err := a.fsys.ReadFile(a.bucketPath(pi))
 	if err != nil {
-		panic(fmt.Sprintf("conf: spill read %s: %v", a.bucketPath(pi), err))
+		panic(&SpillError{Op: "read", Path: a.bucketPath(pi), Err: err})
+	}
+	if len(buf) != p.size {
+		panic(&SpillError{Op: "verify", Path: a.bucketPath(pi),
+			Err: fmt.Errorf("bucket is %d bytes, flushed %d (truncated or torn)", len(buf), p.size)})
+	}
+	if sum := crc32.Checksum(buf, spillCRC); sum != p.sum {
+		panic(&SpillError{Op: "verify", Path: a.bucketPath(pi),
+			Err: fmt.Errorf("bucket CRC %08x, flushed %08x (bit rot or torn write)", sum, p.sum)})
 	}
 	data := make([]int64, len(buf)/8)
 	for i := range data {
 		data[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
 	}
-	a.pages[pi].data = data
+	p.data = data
 	a.resident += a.pageBytes
 	a.loads++
 }

@@ -1,10 +1,14 @@
 package conf
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
+
+	"repro/internal/faultfs"
 )
 
 // newShadowedSets builds a spilling set with a deliberately tiny
@@ -197,4 +201,121 @@ func ExampleNewSpillingCountSet() {
 	id, added := s.Insert([]int64{3, 4})
 	fmt.Println(id, added, s.Spilling())
 	// Output: 0 true true
+}
+
+// recoverSpillError runs f and returns the *SpillError it panics
+// with, nil if it completes, re-panicking anything else.
+func recoverSpillError(f func()) (se *SpillError) {
+	defer func() {
+		if r := recover(); r != nil {
+			var ok bool
+			if se, ok = r.(*SpillError); !ok {
+				panic(r)
+			}
+		}
+	}()
+	f()
+	return nil
+}
+
+// A bucket file tampered with on disk — same length, flipped bytes —
+// must fail the CRC recorded at flush when its page is loaded back:
+// closure vectors feed hash probes directly, so a silently wrong page
+// would corrupt results invisibly.
+func TestSpillBucketCorruptionDetected(t *testing.T) {
+	const width, n = 6, 4000
+	sp := newSpillSet(t, width, 16<<10)
+	defer sp.Release()
+	for i := 0; i < n; i++ {
+		sp.Insert(vec(i, width))
+	}
+	if ev, _ := sp.SpillStats(); ev == 0 {
+		t.Fatal("arena never spilled; corruption path unreachable")
+	}
+	buckets, err := filepath.Glob(filepath.Join(sp.spill.dir, "bucket-*.spill"))
+	if err != nil || len(buckets) == 0 {
+		t.Fatalf("no bucket files: %v", err)
+	}
+	for _, b := range buckets {
+		data, err := os.ReadFile(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(b, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	se := recoverSpillError(func() {
+		for i := 0; i < n; i++ {
+			sp.At((i * 2654435761) % n)
+		}
+	})
+	if se == nil {
+		t.Fatal("tampered buckets read back without a verification error")
+	}
+	if se.Op != "verify" {
+		t.Errorf("SpillError op %q, want verify", se.Op)
+	}
+}
+
+// A truncated bucket (torn write, partial flush surviving a crash) is
+// caught by the length recorded at flush time.
+func TestSpillBucketTruncationDetected(t *testing.T) {
+	const width, n = 6, 4000
+	sp := newSpillSet(t, width, 16<<10)
+	defer sp.Release()
+	for i := 0; i < n; i++ {
+		sp.Insert(vec(i, width))
+	}
+	buckets, err := filepath.Glob(filepath.Join(sp.spill.dir, "bucket-*.spill"))
+	if err != nil || len(buckets) == 0 {
+		t.Fatalf("no bucket files: %v", err)
+	}
+	for _, b := range buckets {
+		data, err := os.ReadFile(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(b, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	se := recoverSpillError(func() {
+		for i := 0; i < n; i++ {
+			sp.At((i * 2654435761) % n)
+		}
+	})
+	if se == nil {
+		t.Fatal("truncated buckets read back without a verification error")
+	}
+	if se.Op != "verify" {
+		t.Errorf("SpillError op %q, want verify", se.Op)
+	}
+}
+
+// A full disk at flush time degrades to a typed SpillError that
+// errors.Is can trace to ENOSPC — the contract petri.Reach relies on
+// to return the failure instead of crashing.
+func TestSpillDiskFullTyped(t *testing.T) {
+	const width = 6
+	faulty := faultfs.NewFaulty(faultfs.OS(), []faultfs.Fault{
+		{Op: faultfs.OpWrite, Path: ".spill", Nth: 1, Err: syscall.ENOSPC},
+	})
+	sp, err := NewSpillingCountSet(width, 0, SpillOptions{Dir: t.TempDir(), Threshold: 16 << 10, FS: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Release()
+	se := recoverSpillError(func() {
+		for i := 0; i < 4000; i++ {
+			sp.Insert(vec(i, width))
+		}
+	})
+	if se == nil {
+		t.Fatal("flush onto a full disk did not surface")
+	}
+	if se.Op != "write" || !errors.Is(se, syscall.ENOSPC) {
+		t.Errorf("SpillError op %q err %v, want a write error wrapping ENOSPC", se.Op, se.Err)
+	}
 }

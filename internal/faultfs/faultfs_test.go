@@ -1,0 +1,142 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The OS implementation must behave like the os package, and the
+// durable write must leave the full content on disk.
+func TestOSRoundTrip(t *testing.T) {
+	fsys := OS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	if err := fsys.WriteFileSync(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "b.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat(filepath.Join(dir, "b.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Link(filepath.Join(dir, "b.json"), filepath.Join(dir, "c.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(filepath.Join(dir, "c.json")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(fsys.Now()); d < -time.Minute || d > time.Minute {
+		t.Errorf("Now() is %v away from wall clock", d)
+	}
+}
+
+// A scheduled transient error fires on exactly the Nth call of its
+// class, once, and honors the path filter.
+func TestFaultyNthAndPathMatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	if err := os.WriteFile(path, []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(OS(), []Fault{
+		{Op: OpRead, Nth: 2, Err: syscall.ESTALE},
+		{Op: OpRead, Nth: 3, Path: "no-such-substring", Err: syscall.EIO},
+	})
+	if _, err := f.ReadFile(path); err != nil {
+		t.Fatalf("read #1 should pass: %v", err)
+	}
+	if _, err := f.ReadFile(path); !errors.Is(err, syscall.ESTALE) {
+		t.Fatalf("read #2 should be ESTALE, got %v", err)
+	}
+	// #3 matches Nth but not Path; #4 matches nothing (one-shot).
+	for i := 3; i <= 4; i++ {
+		if _, err := f.ReadFile(path); err != nil {
+			t.Fatalf("read #%d should pass: %v", i, err)
+		}
+	}
+	if fired := f.Fired(); len(fired) != 1 {
+		t.Errorf("fired log %v, want exactly the ESTALE injection", fired)
+	}
+}
+
+// A silent torn write reports success but persists only a prefix —
+// the checksum layer's whole reason to exist.
+func TestFaultyTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	f := NewFaulty(OS(), []Fault{{Op: OpWrite, Nth: 1, Tear: true, TearAt: 3}})
+	if err := f.WriteFileSync(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatalf("silent tear must report success, got %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "012" {
+		t.Fatalf("torn file holds %q, want the 3-byte prefix", data)
+	}
+}
+
+// Clock skew faults offset every subsequent Now, cumulatively.
+func TestFaultyClockSkew(t *testing.T) {
+	f := NewFaulty(OS(), []Fault{{Op: OpClock, Nth: 2, Skew: time.Hour}})
+	if d := time.Until(f.Now()); d > time.Minute {
+		t.Fatalf("clock #1 already skewed by %v", d)
+	}
+	for i := 0; i < 3; i++ {
+		if d := time.Until(f.Now()); d < 59*time.Minute {
+			t.Fatalf("clock after skew fault off by only %v, want ~1h", d)
+		}
+	}
+}
+
+// The transient taxonomy: the NFS staleness family retries, the
+// permanent family (not-exist, exists, no-space) does not.
+func TestTransient(t *testing.T) {
+	for _, err := range []error{syscall.ESTALE, syscall.EINTR, syscall.EIO,
+		fmt.Errorf("wrapped: %w", syscall.EAGAIN)} {
+		if !Transient(err) {
+			t.Errorf("Transient(%v) = false", err)
+		}
+	}
+	for _, err := range []error{os.ErrNotExist, os.ErrExist, syscall.ENOSPC,
+		syscall.EACCES, errors.New("corrupt artifact")} {
+		if Transient(err) {
+			t.Errorf("Transient(%v) = true", err)
+		}
+	}
+}
+
+// Same seed, same schedule — the reproducibility contract chaos tests
+// rely on; different seeds should differ.
+func TestRandomScheduleDeterministic(t *testing.T) {
+	a, b := RandomSchedule(7, 16), RandomSchedule(7, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("RandomSchedule(7) not deterministic")
+	}
+	if len(a) != 16 {
+		t.Errorf("schedule has %d faults, want 16", len(a))
+	}
+	if reflect.DeepEqual(RandomSchedule(7, 16), RandomSchedule(8, 16)) {
+		t.Error("seeds 7 and 8 produced identical schedules")
+	}
+	for _, ft := range a {
+		if ft.Err != nil && !Transient(ft.Err) {
+			t.Errorf("random schedule contains non-survivable error %v", ft.Err)
+		}
+		if ft.Nth < 1 {
+			t.Errorf("fault %v has non-positive Nth", ft)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package faultfs
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op names one seam operation class for fault matching. Reads,
+// writes (sync and plain count as one class), renames, links,
+// removes, stats, mkdirs, dir syncs and clock reads are counted
+// separately, each with its own 1-based call counter.
+type Op uint8
+
+const (
+	OpRead Op = iota
+	OpWrite
+	OpRename
+	OpLink
+	OpRemove
+	OpStat
+	OpMkdir
+	OpSync
+	OpClock
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpRename:
+		return "rename"
+	case OpLink:
+		return "link"
+	case OpRemove:
+		return "remove"
+	case OpStat:
+		return "stat"
+	case OpMkdir:
+		return "mkdir"
+	case OpSync:
+		return "sync"
+	case OpClock:
+		return "clock"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Fault is one scheduled injection: when the Nth call of Op (counted
+// across the Faulty's lifetime, after no filtering — retries advance
+// the counter too) touches a path containing Path (empty matches
+// any), the fault fires once.
+//
+// What firing does depends on the fields:
+//   - Err non-nil: the operation fails with Err (the underlying call
+//     is not performed, except a torn write's prefix — see Tear).
+//   - Tear with Op == OpWrite: only the first TearAt bytes of data
+//     are actually written. With Err == nil the call still reports
+//     success — the "crash after rename without fsync" torn-artifact
+//     scenario, detectable only by content checksums.
+//   - Skew non-zero with Op == OpClock: every subsequent Now is
+//     offset by Skew (cumulative across skew faults).
+type Fault struct {
+	Op     Op
+	Nth    int
+	Path   string
+	Err    error
+	Tear   bool
+	TearAt int
+	Skew   time.Duration
+}
+
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s #%d", f.Op, f.Nth)
+	if f.Path != "" {
+		s += " ~" + f.Path
+	}
+	switch {
+	case f.Tear:
+		s += fmt.Sprintf(" torn at %d", f.TearAt)
+		if f.Err != nil {
+			s += fmt.Sprintf(" (%v)", f.Err)
+		}
+	case f.Err != nil:
+		s += fmt.Sprintf(" -> %v", f.Err)
+	case f.Skew != 0:
+		s += fmt.Sprintf(" skew %v", f.Skew)
+	}
+	return s
+}
+
+// Faulty wraps an FS with a deterministic fault schedule. It is safe
+// for concurrent use; operation counters are global across
+// goroutines, so schedules against concurrent workloads are
+// reproducible only up to goroutine interleaving — drive
+// single-dispatcher workloads for strict determinism.
+type Faulty struct {
+	inner FS
+
+	mu     sync.Mutex
+	counts [numOps]int
+	faults []Fault
+	done   []bool
+	skew   time.Duration
+	fired  []string
+}
+
+// NewFaulty wraps inner with the given schedule. Each fault fires at
+// most once, in schedule order when several match the same call.
+func NewFaulty(inner FS, schedule []Fault) *Faulty {
+	return &Faulty{inner: inner, faults: schedule, done: make([]bool, len(schedule))}
+}
+
+// Fired returns descriptions of the faults injected so far, in firing
+// order — chaos tests assert on it, operators read it in logs.
+func (f *Faulty) Fired() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.fired...)
+}
+
+// next advances op's counter and returns the first unfired matching
+// fault, or nil.
+func (f *Faulty) next(op Op, path string) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	for i := range f.faults {
+		ft := &f.faults[i]
+		if f.done[i] || ft.Op != op || ft.Nth != f.counts[op] {
+			continue
+		}
+		if ft.Path != "" && !strings.Contains(path, ft.Path) {
+			continue
+		}
+		f.done[i] = true
+		f.fired = append(f.fired, ft.String()+" @ "+path)
+		if ft.Skew != 0 {
+			f.skew += ft.Skew
+		}
+		return ft
+	}
+	return nil
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if ft := f.next(OpRead, name); ft != nil && ft.Err != nil {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: ft.Err}
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Faulty) writeFile(name string, data []byte, perm fs.FileMode, sync bool) error {
+	write := f.inner.WriteFile
+	if sync {
+		write = f.inner.WriteFileSync
+	}
+	if ft := f.next(OpWrite, name); ft != nil {
+		if ft.Tear {
+			n := ft.TearAt
+			if n > len(data) {
+				n = len(data)
+			}
+			if err := write(name, data[:n], perm); err != nil {
+				return err
+			}
+			if ft.Err != nil {
+				return &fs.PathError{Op: "write", Path: name, Err: ft.Err}
+			}
+			return nil // silent tear: success reported, bytes missing
+		}
+		if ft.Err != nil {
+			return &fs.PathError{Op: "write", Path: name, Err: ft.Err}
+		}
+	}
+	return write(name, data, perm)
+}
+
+func (f *Faulty) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return f.writeFile(name, data, perm, false)
+}
+
+func (f *Faulty) WriteFileSync(name string, data []byte, perm fs.FileMode) error {
+	return f.writeFile(name, data, perm, true)
+}
+
+func (f *Faulty) Rename(oldname, newname string) error {
+	if ft := f.next(OpRename, oldname); ft != nil && ft.Err != nil {
+		return &os.LinkError{Op: "rename", Old: oldname, New: newname, Err: ft.Err}
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *Faulty) Link(oldname, newname string) error {
+	if ft := f.next(OpLink, newname); ft != nil && ft.Err != nil {
+		return &os.LinkError{Op: "link", Old: oldname, New: newname, Err: ft.Err}
+	}
+	return f.inner.Link(oldname, newname)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if ft := f.next(OpRemove, name); ft != nil && ft.Err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: ft.Err}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) Stat(name string) (fs.FileInfo, error) {
+	if ft := f.next(OpStat, name); ft != nil && ft.Err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: ft.Err}
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *Faulty) MkdirAll(name string, perm fs.FileMode) error {
+	if ft := f.next(OpMkdir, name); ft != nil && ft.Err != nil {
+		return &fs.PathError{Op: "mkdir", Path: name, Err: ft.Err}
+	}
+	return f.inner.MkdirAll(name, perm)
+}
+
+func (f *Faulty) SyncDir(name string) error {
+	if ft := f.next(OpSync, name); ft != nil && ft.Err != nil {
+		return &fs.PathError{Op: "sync", Path: name, Err: ft.Err}
+	}
+	return f.inner.SyncDir(name)
+}
+
+func (f *Faulty) Now() time.Time {
+	f.next(OpClock, "")
+	f.mu.Lock()
+	skew := f.skew
+	f.mu.Unlock()
+	return f.inner.Now().Add(skew)
+}

@@ -1,0 +1,60 @@
+package faultfs
+
+import (
+	"syscall"
+	"time"
+)
+
+// splitmix64 is the repo-standard cheap seeded generator (same
+// recurrence as internal/sim's RNG, duplicated to keep faultfs
+// dependency-free): one 64-bit state, full-period, O(1) seeding.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b5b9
+	z = (z ^ (z >> 27)) * 0x94d35a2d9c2c2a49
+	return z ^ (z >> 31)
+}
+
+// RandomSchedule derives n faults deterministically from seed: a mix
+// of transient errors (ESTALE, EINTR, EIO) on reads, writes, renames,
+// links and stats, torn writes, and clock-skew events, spread over
+// the first few dozen calls of each class. The same seed always
+// yields the same schedule.
+//
+// Every fault in the mix is survivable by a hardened pipeline —
+// transient errors are absorbed by bounded retry, torn writes by
+// checksum quarantine and recompute, clock skew by sequence-number
+// lease liveness — so a chaos run under any RandomSchedule must still
+// converge to the byte-identical merged sweep; that is the property
+// the chaos tests and the CI drill assert.
+func RandomSchedule(seed int64, n int) []Fault {
+	state := uint64(seed) * 0x9e3779b97f4a7c15
+	splitmix64(&state) // decorrelate small seeds
+	transient := []error{syscall.ESTALE, syscall.EINTR, syscall.EIO}
+	ops := []Op{OpRead, OpWrite, OpRename, OpLink, OpStat}
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		r := splitmix64(&state)
+		switch {
+		case r%10 == 0: // clock skew, either direction, up to ~4h
+			skew := time.Duration(int64(splitmix64(&state)%(8*3600))-4*3600) * time.Second
+			faults = append(faults, Fault{Op: OpClock, Nth: int(splitmix64(&state)%64) + 1, Skew: skew})
+		case r%10 <= 2: // silent torn write
+			faults = append(faults, Fault{
+				Op:     OpWrite,
+				Nth:    int(splitmix64(&state)%30) + 1,
+				Tear:   true,
+				TearAt: int(splitmix64(&state) % 64),
+			})
+		default: // transient error on a random op class
+			op := ops[splitmix64(&state)%uint64(len(ops))]
+			faults = append(faults, Fault{
+				Op:  op,
+				Nth: int(splitmix64(&state)%30) + 1,
+				Err: transient[splitmix64(&state)%uint64(len(transient))],
+			})
+		}
+	}
+	return faults
+}

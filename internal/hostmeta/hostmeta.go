@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"time"
 )
 
 // Meta identifies the producing host and build. The JSON field names
@@ -49,11 +50,19 @@ func Collect() Meta {
 type Process struct {
 	Meta
 	PID int `json:"pid"`
+	// StartedAt is the process's start stamp (its own wall clock, UTC):
+	// it disambiguates PID reuse across reboots for operators reading
+	// lease files. Like every cross-host wall-clock stamp it is
+	// telemetry, not protocol state — liveness decisions use the
+	// lease's monotonic heartbeat sequence instead.
+	StartedAt time.Time `json:"started_at"`
 }
+
+var processStart = time.Now().UTC()
 
 // CollectProcess gathers the current process's identity.
 func CollectProcess() Process {
-	return Process{Meta: Collect(), PID: os.Getpid()}
+	return Process{Meta: Collect(), PID: os.Getpid(), StartedAt: processStart}
 }
 
 // Commit best-efforts the VCS revision: the build info stamp when the

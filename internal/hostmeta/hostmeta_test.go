@@ -2,8 +2,10 @@ package hostmeta
 
 import (
 	"encoding/json"
+	"os"
 	"runtime"
 	"testing"
+	"time"
 )
 
 func TestCollect(t *testing.T) {
@@ -34,5 +36,24 @@ func TestJSONFieldNames(t *testing.T) {
 		if _, ok := raw[key]; !ok {
 			t.Errorf("missing field %q in %s", key, data)
 		}
+	}
+}
+
+// CollectProcess stamps a stable, plausible start time: the same for
+// every call in one process (it identifies the incarnation, not the
+// call), recent, and UTC.
+func TestCollectProcessStartedAt(t *testing.T) {
+	a, b := CollectProcess(), CollectProcess()
+	if a.StartedAt.IsZero() {
+		t.Fatal("zero StartedAt")
+	}
+	if !a.StartedAt.Equal(b.StartedAt) {
+		t.Errorf("StartedAt differs between calls: %v vs %v", a.StartedAt, b.StartedAt)
+	}
+	if d := time.Since(a.StartedAt); d < 0 || d > time.Hour {
+		t.Errorf("StartedAt %v away from now", d)
+	}
+	if a.PID != os.Getpid() {
+		t.Errorf("PID = %d, want %d", a.PID, os.Getpid())
 	}
 }

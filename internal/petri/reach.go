@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/conf"
+	"repro/internal/faultfs"
 	"repro/internal/graph"
 )
 
@@ -42,6 +43,11 @@ type Budget struct {
 	// SpillThreshold is the resident-arena byte budget for spill mode.
 	// Zero means conf.DefaultSpillThreshold.
 	SpillThreshold int64
+	// SpillFS is the filesystem seam spill bucket I/O goes through;
+	// nil means the real OS. Fault-injection tests pass a
+	// faultfs.Faulty here to exercise the degraded paths (disk full,
+	// torn buckets) without a real broken disk.
+	SpillFS faultfs.FS
 }
 
 // EffectiveWorkers resolves the Workers field: 0 auto-detects
@@ -109,22 +115,44 @@ type ReachSet struct {
 // Complete=false) together with a wrapped ErrBudget, so callers can
 // inspect partial results while being unable to mistake them for exact
 // ones.
-func (n *Net) Reach(from conf.Config, budget Budget) (*ReachSet, error) {
+//
+// When the closure runs out-of-core (SpillDir), spill-layer failures —
+// a bucket write hitting a full disk, a bucket read, or a read-back
+// CRC verification catching a torn or rotted bucket — surface as a
+// returned *conf.SpillError (errors.Is sees through it to the
+// underlying errno, e.g. syscall.ENOSPC), with the spill files
+// released; they never crash the process even though the arena's hot
+// paths report them by panicking.
+func (n *Net) Reach(from conf.Config, budget Budget) (rs *ReachSet, err error) {
 	if !from.Space().Equal(n.space) {
 		return nil, errors.New("petri: initial configuration over wrong space")
 	}
 	d := n.space.Len()
 	set := conf.NewCountSet(d, 256)
 	if budget.SpillDir != "" {
-		var err error
-		set, err = conf.NewSpillingCountSet(d, 256, conf.SpillOptions{
-			Dir: budget.SpillDir, Threshold: budget.SpillThreshold,
+		var serr error
+		set, serr = conf.NewSpillingCountSet(d, 256, conf.SpillOptions{
+			Dir: budget.SpillDir, Threshold: budget.SpillThreshold, FS: budget.SpillFS,
 		})
-		if err != nil {
-			return nil, err
+		if serr != nil {
+			return nil, serr
 		}
+		// Spill flushes and loads only run on this goroutine (parallel
+		// workers read pinned, resident pages exclusively), so one
+		// recovery point at the driver boundary converts every
+		// spill-layer panic into the typed error.
+		defer func() {
+			if r := recover(); r != nil {
+				se, ok := r.(*conf.SpillError)
+				if !ok {
+					panic(r)
+				}
+				set.Release()
+				rs, err = nil, se
+			}
+		}()
 	}
-	rs := &ReachSet{
+	rs = &ReachSet{
 		net:      n,
 		set:      set,
 		Complete: true,

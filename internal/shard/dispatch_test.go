@@ -70,12 +70,15 @@ func mergedQueueBytes(t *testing.T, dir string, m *Manifest) []byte {
 func TestDispatchDrainsPlan(t *testing.T) {
 	m := dispatchPlan(t)
 	dir := t.TempDir()
-	completed, err := Dispatch(context.Background(), m, DispatchOptions{Dir: dir})
+	res, err := Dispatch(context.Background(), m, DispatchOptions{Dir: dir})
 	if err != nil {
 		t.Fatalf("Dispatch: %v", err)
 	}
-	if len(completed) != len(m.Shards) {
-		t.Errorf("completed %d shards, want %d", len(completed), len(m.Shards))
+	if len(res.Completed) != len(m.Shards) {
+		t.Errorf("completed %d shards, want %d", len(res.Completed), len(m.Shards))
+	}
+	if res.Counters.Steals != 0 || res.Counters.Quarantined != 0 {
+		t.Errorf("clean drain reported degradation: %s", res.Counters)
 	}
 	if got, want := mergedQueueBytes(t, dir, m), baselineMergedBytes(t, m.Sweep); string(got) != string(want) {
 		t.Errorf("dispatched merge differs from single-process sweep:\n%s\nvs\n%s", got, want)
@@ -97,7 +100,7 @@ func TestDispatchKillResumeRedispatchDeterminism(t *testing.T) {
 		m := dispatchPlan(t)
 		dir := t.TempDir()
 		// Worker 1 "dies" after persisting killAt fresh cells: its lease
-		// survives with a cooling heartbeat, its partials stay on disk.
+		// survives with a frozen heartbeat seq, its partials stay on disk.
 		_, err := Dispatch(context.Background(), m, DispatchOptions{Dir: dir, FailAfterCells: killAt})
 		if !errors.Is(err, errInjectedFailure) {
 			t.Fatalf("killAt=%d: want injected failure, got %v", killAt, err)
@@ -111,14 +114,20 @@ func TestDispatchKillResumeRedispatchDeterminism(t *testing.T) {
 		if leases != 1 {
 			t.Fatalf("killAt=%d: %d leases after worker death, want exactly the victim's", killAt, leases)
 		}
-		// Worker 2 finds the lease expired (tiny TTL), steals, resumes
-		// from the dead worker's partials, and drains the rest.
-		completed, err := Dispatch(context.Background(), m, DispatchOptions{Dir: dir, LeaseTTL: time.Nanosecond})
+		// Worker 2 observes the dead lease's seq frozen for a (tiny) TTL
+		// of its own local time, steals, resumes from the dead worker's
+		// partials, and drains the rest.
+		res, err := Dispatch(context.Background(), m, DispatchOptions{
+			Dir: dir, LeaseTTL: time.Nanosecond, Poll: 2 * time.Millisecond,
+		})
 		if err != nil {
 			t.Fatalf("killAt=%d: redispatch: %v", killAt, err)
 		}
-		if len(completed) != len(m.Shards) {
-			t.Errorf("killAt=%d: redispatch completed %d shards, want %d", killAt, len(completed), len(m.Shards))
+		if len(res.Completed) != len(m.Shards) {
+			t.Errorf("killAt=%d: redispatch completed %d shards, want %d", killAt, len(res.Completed), len(m.Shards))
+		}
+		if res.Counters.Steals != 1 {
+			t.Errorf("killAt=%d: %d steals, want 1 (the victim's shard)", killAt, res.Counters.Steals)
 		}
 		if got := mergedQueueBytes(t, dir, m); string(got) != string(want) {
 			t.Errorf("killAt=%d: kill+resume+redispatch merge differs from single-process sweep", killAt)
@@ -134,7 +143,7 @@ func TestDispatchConcurrentWorkers(t *testing.T) {
 	dir := t.TempDir()
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
-	done := make([][]string, 2)
+	done := make([]*DispatchResult, 2)
 	for w := 0; w < 2; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -148,8 +157,9 @@ func TestDispatchConcurrentWorkers(t *testing.T) {
 			t.Fatalf("worker %d: %v", w, err)
 		}
 	}
-	if total := len(done[0]) + len(done[1]); total != len(m.Shards) {
-		t.Errorf("workers completed %d + %d shards, want %d total", len(done[0]), len(done[1]), len(m.Shards))
+	if total := len(done[0].Completed) + len(done[1].Completed); total != len(m.Shards) {
+		t.Errorf("workers completed %d + %d shards, want %d total",
+			len(done[0].Completed), len(done[1].Completed), len(m.Shards))
 	}
 	if got, want := mergedQueueBytes(t, dir, m), baselineMergedBytes(t, m.Sweep); string(got) != string(want) {
 		t.Errorf("concurrent dispatch merge differs from single-process sweep")
@@ -157,7 +167,8 @@ func TestDispatchConcurrentWorkers(t *testing.T) {
 }
 
 // A shard that keeps losing its worker exhausts its attempt cap and
-// is marked terminally failed; dispatchers report it instead of
+// is marked terminally failed; dispatchers report it (wrapped in
+// ErrShardsFailed, mapped to its own exit code by ppsweep) instead of
 // spinning, and later dispatchers see the marker immediately.
 func TestDispatchAttemptCap(t *testing.T) {
 	m := dispatchPlan(t)
@@ -176,45 +187,78 @@ func TestDispatchAttemptCap(t *testing.T) {
 	if err := writeJSONAtomic(LeasePath(dir, victim), &stale); err != nil {
 		t.Fatal(err)
 	}
-	_, err := Dispatch(context.Background(), m, DispatchOptions{Dir: dir})
+	opts := DispatchOptions{Dir: dir, LeaseTTL: 5 * time.Millisecond, Poll: 2 * time.Millisecond}
+	_, err := Dispatch(context.Background(), m, opts)
 	if err == nil || !strings.Contains(err.Error(), victim) {
 		t.Fatalf("want terminal failure naming %s, got %v", victim, err)
+	}
+	if !errors.Is(err, ErrShardsFailed) {
+		t.Errorf("terminal failure not classified as ErrShardsFailed: %v", err)
 	}
 	if !fileExists(FailedPath(dir, victim)) {
 		t.Error("no failed marker written")
 	}
 	// A second dispatcher trusts the marker and reports the same
 	// failure without re-running anything.
-	if _, err := Dispatch(context.Background(), m, DispatchOptions{Dir: dir}); err == nil || !strings.Contains(err.Error(), victim) {
+	if _, err := Dispatch(context.Background(), m, opts); !errors.Is(err, ErrShardsFailed) || !strings.Contains(err.Error(), victim) {
 		t.Errorf("failed marker not honored on rescan: %v", err)
 	}
 }
 
-// Steals increment the attempt count carried in the lease file, which
-// is what makes the cap hold across dispatcher processes.
+// Liveness is observed, never read off a foreign clock: a lease is
+// never stolen on first sighting however stale its wall-clock stamps
+// look, a (token, seq) frozen for a local TTL is stolen with the
+// attempt incremented (the cap holds across dispatcher processes),
+// and an advancing seq restarts the observation clock so heartbeating
+// owners on skewed clocks are never robbed.
 func TestTryAcquireStealIncrementsAttempt(t *testing.T) {
 	m := dispatchPlan(t)
 	dir := t.TempDir()
-	d := &dispatcher{m: m, opts: DispatchOptions{Dir: dir}.withDefaults()}
+	var c Counters
+	d := &dispatcher{
+		m:        m,
+		opts:     DispatchOptions{Dir: dir, LeaseTTL: 5 * time.Millisecond}.withDefaults(),
+		env:      newQueueEnv(nil, 0, 0, &c),
+		obs:      make(map[string]leaseObs),
+		verified: make(map[string]bool),
+		done:     make(map[string]bool),
+	}
+	ctx := context.Background()
 	id := m.Shards[0].ID
 	stale := Lease{Shard: id, Token: newToken(), Attempt: 1, HeartbeatAt: time.Now().UTC().Add(-time.Hour)}
 	if err := writeJSONAtomic(LeasePath(dir, id), &stale); err != nil {
 		t.Fatal(err)
 	}
-	lease, state, err := d.tryAcquire(id)
+	if _, state, err := d.tryAcquire(ctx, id); err != nil || state != leaseBusy {
+		t.Fatalf("first sighting must be busy (hour-old wall stamp notwithstanding): state=%v err=%v", state, err)
+	}
+	time.Sleep(10 * time.Millisecond) // > LeaseTTL of local time, seq frozen
+	lease, state, err := d.tryAcquire(ctx, id)
 	if err != nil || state != leaseAcquired {
 		t.Fatalf("steal of expired lease: state=%v err=%v", state, err)
 	}
 	if lease.Attempt != 2 {
 		t.Errorf("stolen lease attempt = %d, want 2", lease.Attempt)
 	}
-	// A live lease (fresh heartbeat) is not stealable.
-	live := Lease{Shard: id, Token: newToken(), Attempt: 1, HeartbeatAt: time.Now().UTC()}
+	if c.Steals != 1 {
+		t.Errorf("steal counter = %d, want 1", c.Steals)
+	}
+	// An owner that keeps heartbeating — advancing seq — is never
+	// stolen, because each new (token, seq) restarts the local clock.
+	live := Lease{Shard: id, Token: newToken(), Attempt: 1, Seq: 1, HeartbeatAt: time.Now().UTC()}
 	if err := writeJSONAtomic(LeasePath(dir, id), &live); err != nil {
 		t.Fatal(err)
 	}
-	if _, state, _ := d.tryAcquire(id); state != leaseBusy {
-		t.Errorf("live lease stolen: state=%v", state)
+	if _, state, _ := d.tryAcquire(ctx, id); state != leaseBusy {
+		t.Errorf("fresh (token, seq) stolen on first sight: state=%v", state)
+	}
+	time.Sleep(10 * time.Millisecond)
+	live.Seq = 2 // heartbeat arrived
+	if err := writeJSONAtomic(LeasePath(dir, id), &live); err != nil {
+		t.Fatal(err)
+	}
+	if _, state, _ := d.tryAcquire(ctx, id); state != leaseBusy {
+		t.Errorf("heartbeating lease stolen: state=%v", state)
 	}
 }
 

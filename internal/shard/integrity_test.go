@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// A sealed document verifies, and its checksum survives any
+// reformatting that preserves content: whitespace, key order, even
+// hand-editing the file through a pretty-printer.
+func TestSealVerifyRoundTrip(t *testing.T) {
+	ca := &CellArtifact{
+		Schema: ArtifactSchema,
+		Sweep:  testSpec(),
+		Cell:   Cell{X: 4, TrialLo: 0, TrialHi: 6},
+		Stats:  sim.Stats{Trials: 6, Converged: 6, Correct: 6, SumSteps: 42},
+	}
+	data, err := sealJSON(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Checksum == "" || !strings.HasPrefix(ca.Checksum, "crc32c:") {
+		t.Fatalf("seal left checksum %q", ca.Checksum)
+	}
+	if legacy, err := verifyDoc(data, "sealed"); err != nil || legacy {
+		t.Fatalf("sealed document: legacy=%v err=%v", legacy, err)
+	}
+	// Reformat: strip all the indentation the canonical form ignores.
+	reformatted := bytes.ReplaceAll(bytes.ReplaceAll(data, []byte("\n"), nil), []byte("  "), nil)
+	if legacy, err := verifyDoc(reformatted, "reformatted"); err != nil || legacy {
+		t.Errorf("reformatting broke verification: legacy=%v err=%v", legacy, err)
+	}
+}
+
+// Any content change under an unchanged checksum is corruption: a
+// flipped digit, a truncated tail, a swapped field value.
+func TestVerifyDetectsMutation(t *testing.T) {
+	ca := &CellArtifact{Schema: ArtifactSchema, Sweep: testSpec(),
+		Cell: Cell{X: 4, TrialLo: 0, TrialHi: 6}, Stats: sim.Stats{Trials: 6}}
+	data, err := sealJSON(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corrupt *corruptError
+	mutated := bytes.Replace(data, []byte(`"x": 4`), []byte(`"x": 5`), 1)
+	if bytes.Equal(mutated, data) {
+		t.Fatal("mutation did not apply")
+	}
+	if _, err := verifyDoc(mutated, "mutated"); !errors.As(err, &corrupt) {
+		t.Errorf("flipped digit not flagged as corrupt: %v", err)
+	}
+	if _, err := verifyDoc(data[:len(data)/2], "truncated"); !errors.As(err, &corrupt) {
+		t.Errorf("truncated document not flagged as corrupt: %v", err)
+	}
+	if _, err := verifyDoc([]byte(`{"checksum": 7}`), "nonstring"); !errors.As(err, &corrupt) {
+		t.Errorf("non-string checksum not flagged as corrupt: %v", err)
+	}
+}
+
+// The canonical form re-emits numbers digit for digit: two sums that
+// collide as float64 (beyond 2^53) must checksum differently.
+func TestChecksumExactBigIntegers(t *testing.T) {
+	a := []byte(`{"sum": 9007199254740993}`)
+	b := []byte(`{"sum": 9007199254740992}`) // same float64, different integer
+	ca, err := ChecksumOf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := ChecksumOf(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca == cb {
+		t.Error("sums differing only beyond float64 precision checksum identically")
+	}
+}
+
+// A checksum-less document is legacy, not corrupt: it verifies by
+// schema alone (the PRs 3–6 compatibility contract).
+func TestVerifyLegacyDocument(t *testing.T) {
+	legacy, err := verifyDoc([]byte(`{"schema": 1, "stats": {"trials": 3}}`), "old")
+	if err != nil {
+		t.Fatalf("legacy document rejected: %v", err)
+	}
+	if !legacy {
+		t.Error("checksum-less document not reported as legacy")
+	}
+}

@@ -5,10 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"reflect"
 
+	"repro/internal/faultfs"
 	"repro/internal/hostmeta"
 	"repro/internal/sim"
 )
@@ -27,6 +27,10 @@ type CellArtifact struct {
 	Cell   Cell          `json:"cell"`
 	Stats  sim.Stats     `json:"stats"`
 	Host   hostmeta.Meta `json:"host"`
+	// Checksum is the content checksum ("crc32c:…") over the
+	// document's canonical form; absent in pre-checksum artifacts,
+	// which load on schema checks alone.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // cellFileName is the canonical partial file name for a cell. The
@@ -41,30 +45,17 @@ func cellFileName(c Cell) string {
 // in the same directory and an atomic rename, so concurrent readers
 // (and merge/resume scans) never observe a torn file and a killed
 // writer leaves no partial document behind — at worst a stray .tmp.
+// The temp file and the directory are fsynced before and after the
+// rename: a host crash after WriteFileAtomic returns cannot surface
+// an empty or torn document on ext4/NFS.
 func WriteFileAtomic(path string, data []byte) error {
-	dir, base := filepath.Split(path)
-	tmp, err := os.CreateTemp(dir, base+".tmp*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return atomicWriteFS(faultfs.OS(), path, data)
 }
 
 // writeJSONAtomic marshals v (indented, trailing newline, the
-// repo-wide artifact convention) and writes it atomically.
+// repo-wide artifact convention) and writes it atomically. Documents
+// that carry a checksum field should go through writeSealedRetry
+// instead so the checksum is stamped.
 func writeJSONAtomic(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -73,19 +64,22 @@ func writeJSONAtomic(path string, v any) error {
 	return WriteFileAtomic(path, append(data, '\n'))
 }
 
-// loadCell reads one cell partial and checks it belongs to the sweep
-// and claims the cell it is named for. A partial from a different
-// sweep in the directory is an operator error (two plans sharing a
-// partials dir) and is reported, not skipped: silently recomputing
-// would mask the mixup until merge time or beyond.
-func loadCell(path string, sw SweepSpec, want Cell) (*CellArtifact, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
+// parseCell integrity-checks and decodes one cell partial document.
+// Corruption — unparseable JSON, checksum mismatch, a cell that is
+// not the one the file name promises, stats that do not cover the
+// claimed trial range — comes back as *corruptError, telling the
+// caller to quarantine and recompute (always safe: cells are pure
+// functions of the sweep spec). A partial from a different sweep or
+// an unknown schema stays a loud error: recomputing would mask an
+// operator mixup (two plans sharing a partials dir) or a build
+// mismatch until merge time or beyond.
+func parseCell(data []byte, path string, sw SweepSpec, want Cell) (*CellArtifact, error) {
+	if _, err := verifyDoc(data, path); err != nil {
 		return nil, err
 	}
 	var ca CellArtifact
 	if err := json.Unmarshal(data, &ca); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, &corruptError{reason: fmt.Sprintf("%s: %v", path, err)}
 	}
 	if ca.Schema != ArtifactSchema {
 		return nil, fmt.Errorf("%s: cell schema %d, this build understands %d", path, ca.Schema, ArtifactSchema)
@@ -94,37 +88,47 @@ func loadCell(path string, sw SweepSpec, want Cell) (*CellArtifact, error) {
 		return nil, fmt.Errorf("%s: cell belongs to a different sweep (partials dir shared between plans?)", path)
 	}
 	if ca.Cell != want {
-		return nil, fmt.Errorf("%s: cell is %+v, file name promises %+v", path, ca.Cell, want)
+		return nil, &corruptError{reason: fmt.Sprintf("%s: cell is %+v, file name promises %+v", path, ca.Cell, want)}
 	}
 	if ca.Stats.Trials != want.TrialHi-want.TrialLo {
-		return nil, fmt.Errorf("%s: cell claims trials [%d,%d) but its stats aggregate %d trials",
-			path, want.TrialLo, want.TrialHi, ca.Stats.Trials)
+		return nil, &corruptError{reason: fmt.Sprintf("%s: cell claims trials [%d,%d) but its stats aggregate %d trials",
+			path, want.TrialLo, want.TrialHi, ca.Stats.Trials)}
 	}
 	return &ca, nil
 }
 
 // RunResumable is Run with per-cell persistence in dir: cells whose
-// partial artifacts already exist are loaded instead of recomputed,
-// and every freshly computed cell is persisted (atomic rename) the
-// moment it completes — a worker killed mid-shard loses at most the
-// one cell in flight, and the next attempt (same process or a
-// dispatcher retry on another host) picks up from the surviving
-// cells. Cells execute one at a time (trials still fan out to the
-// worker pool) so persistence granularity really is one cell; the
-// grouped multi-size parallelism of Run is traded away for it.
+// partial artifacts already exist (and verify) are loaded instead of
+// recomputed, and every freshly computed cell is persisted (sealed
+// with a content checksum, fsynced, atomic rename) the moment it
+// completes — a worker killed mid-shard loses at most the one cell in
+// flight, and the next attempt (same process or a dispatcher retry on
+// another host) picks up from the surviving cells. A corrupt partial
+// (torn write, bit rot, checksum mismatch) is quarantined to
+// corrupt/ with a reason file and its cell recomputed. Cells execute
+// one at a time (trials still fan out to the worker pool) so
+// persistence granularity really is one cell; the grouped multi-size
+// parallelism of Run is traded away for it.
 //
 // Positional seeds make resumed and fresh cells bit-identical, so the
 // assembled Artifact carries exactly the Points of an uninterrupted
-// Run (the Host stamp is the finishing process's).
-func RunResumable(ctx context.Context, m *Manifest, shardID string, workers int, dir string) (*Artifact, error) {
-	return runResumable(ctx, m, shardID, workers, dir, 0)
+// Run (the Host stamp is the finishing process's). The returned
+// Counters report loaded/computed cells, quarantines and transient
+// retries.
+func RunResumable(ctx context.Context, m *Manifest, shardID string, workers int, dir string) (*Artifact, Counters, error) {
+	var c Counters
+	env := newQueueEnv(nil, 0, 0, &c)
+	art, err := runResumable(ctx, m, shardID, workers, dir, 0, env)
+	return art, c, err
 }
 
-// runResumable implements RunResumable; failAfter > 0 injects a fault
-// for kill/resume tests and the CI dispatcher drill: the runner
-// returns errInjectedFailure after persisting that many fresh cells,
-// leaving the partials exactly as a killed process would.
-func runResumable(ctx context.Context, m *Manifest, shardID string, workers int, dir string, failAfter int) (*Artifact, error) {
+// runResumable implements RunResumable over an explicit queue
+// environment (filesystem seam, retry policy, counters); failAfter >
+// 0 injects a fault for kill/resume tests and the CI dispatcher
+// drill: the runner returns errInjectedFailure after persisting that
+// many fresh cells, leaving the partials exactly as a killed process
+// would.
+func runResumable(ctx context.Context, m *Manifest, shardID string, workers int, dir string, failAfter int, env *queueEnv) (*Artifact, error) {
 	if m.Schema != ManifestSchema {
 		return nil, fmt.Errorf("shard: manifest schema %d, this build understands %d", m.Schema, ManifestSchema)
 	}
@@ -132,7 +136,9 @@ func runResumable(ctx context.Context, m *Manifest, shardID string, workers int,
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := env.retry(ctx, "mkdir partials", func() error {
+		return env.fsys.MkdirAll(dir, 0o755)
+	}); err != nil {
 		return nil, err
 	}
 	sw := m.Sweep
@@ -155,27 +161,41 @@ func runResumable(ctx context.Context, m *Manifest, shardID string, workers int,
 	fresh := 0
 	for _, c := range spec.Cells {
 		path := filepath.Join(dir, cellFileName(c))
-		if _, statErr := os.Stat(path); statErr == nil {
-			ca, err := loadCell(path, sw, c)
-			if err != nil {
-				return nil, err
+		data, err := env.readRetry(ctx, path)
+		if err != nil {
+			return nil, err
+		}
+		if data != nil {
+			ca, perr := parseCell(data, path, sw, c)
+			var corrupt *corruptError
+			switch {
+			case perr == nil:
+				art.Points = append(art.Points, PartialPoint{
+					X: c.X, TrialLo: c.TrialLo, TrialHi: c.TrialHi, Stats: ca.Stats,
+				})
+				env.counters.CellsLoaded++
+				continue
+			case errors.As(perr, &corrupt):
+				if qerr := env.quarantine(ctx, path, corrupt.reason); qerr != nil {
+					return nil, qerr
+				}
+				// Fall through: the cell is recomputed.
+			default:
+				return nil, perr
 			}
-			art.Points = append(art.Points, PartialPoint{
-				X: c.X, TrialLo: c.TrialLo, TrialHi: c.TrialHi, Stats: ca.Stats,
-			})
-			continue
 		}
 		points, err := sim.SweepRange(ctx, p, sw.InputState, []int64{c.X}, expected, c.TrialLo, c.TrialHi, opts)
 		if err != nil {
 			return nil, fmt.Errorf("shard %s cell x=%d trials [%d,%d): %w", shardID, c.X, c.TrialLo, c.TrialHi, err)
 		}
 		ca := CellArtifact{Schema: ArtifactSchema, Sweep: sw, Cell: c, Stats: points[0].Stats, Host: art.Host}
-		if err := writeJSONAtomic(path, &ca); err != nil {
+		if err := env.writeSealedRetry(ctx, path, &ca); err != nil {
 			return nil, err
 		}
 		art.Points = append(art.Points, PartialPoint{
 			X: c.X, TrialLo: c.TrialLo, TrialHi: c.TrialHi, Stats: points[0].Stats,
 		})
+		env.counters.CellsComputed++
 		fresh++
 		if failAfter > 0 && fresh >= failAfter {
 			return nil, fmt.Errorf("shard %s: %w after %d cells", shardID, errInjectedFailure, fresh)

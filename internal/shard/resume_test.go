@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -11,7 +12,8 @@ import (
 )
 
 // A full resumable run with a cold partials dir must produce exactly
-// the Points of the plain runner, and leave one partial per cell.
+// the Points of the plain runner, and leave one sealed partial per
+// cell.
 func TestRunResumableMatchesRun(t *testing.T) {
 	m, err := Plan(testSpec(), 2)
 	if err != nil {
@@ -22,7 +24,7 @@ func TestRunResumableMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunResumable(context.Background(), m, "s000", 0, dir)
+	res, counters, err := RunResumable(context.Background(), m, "s000", 0, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,56 +48,80 @@ func TestRunResumableMatchesRun(t *testing.T) {
 	if cells != len(spec.Cells) {
 		t.Errorf("%d cell partials persisted, want %d", cells, len(spec.Cells))
 	}
+	if counters.CellsComputed != len(spec.Cells) || counters.CellsLoaded != 0 {
+		t.Errorf("cold run counters %+v, want %d computed / 0 loaded", counters, len(spec.Cells))
+	}
+	// Every persisted cell carries a verifying checksum.
+	for _, c := range spec.Cells {
+		data, err := os.ReadFile(filepath.Join(dir, cellFileName(c)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legacy, err := verifyDoc(data, cellFileName(c)); err != nil || legacy {
+			t.Errorf("cell %s: legacy=%v err=%v, want sealed and verifying", cellFileName(c), legacy, err)
+		}
+	}
 }
 
 // The kill-mid-shard contract: a worker that dies after persisting k
 // cells loses nothing but the in-flight cell; a second attempt loads
-// the k survivors (verified: recomputation would be indistinguishable
-// here, so the test plants a poison pill) and completes to the same
-// artifact an uninterrupted run produces.
+// the k survivors and completes to the same artifact an uninterrupted
+// run produces. A survivor corrupted in the meantime (torn write, bit
+// rot) is quarantined into corrupt/ with a reason file and recomputed
+// — never merged, never an error, never re-read forever.
 func TestRunResumableKillResume(t *testing.T) {
 	m, err := Plan(testSpec(), 1) // 4 cells, one per size
 	if err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if _, err := runResumable(context.Background(), m, "s000", 0, dir, 2); !errors.Is(err, errInjectedFailure) {
+	var kc Counters
+	kenv := newQueueEnv(nil, 0, 0, &kc)
+	if _, err := runResumable(context.Background(), m, "s000", 0, dir, 2, kenv); !errors.Is(err, errInjectedFailure) {
 		t.Fatalf("injected failure not reported: %v", err)
 	}
 	entries, _ := os.ReadDir(dir)
 	if len(entries) != 2 {
 		t.Fatalf("%d partials after dying at 2 cells, want 2", len(entries))
 	}
-	// Loaded-not-recomputed is observable because corrupting a survivor
-	// must break the resume: a runner that recomputed every cell would
-	// never read the poisoned file.
+	// Corrupt one survivor: the resume must notice (checksum/parse),
+	// quarantine it and recompute that cell — while genuinely loading
+	// the intact survivor, observable in the counters.
 	spec, _ := m.Shard("s000")
 	poison := filepath.Join(dir, cellFileName(spec.Cells[0]))
 	if err := os.WriteFile(poison, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunResumable(context.Background(), m, "s000", 0, dir); err == nil {
-		t.Fatal("corrupt partial silently ignored — resume is recomputing instead of loading")
-	}
-	// Restore by deleting the poison: the cell is simply recomputed.
-	if err := os.Remove(poison); err != nil {
-		t.Fatal(err)
-	}
-	resumed, err := RunResumable(context.Background(), m, "s000", 0, dir)
+	resumed, counters, err := RunResumable(context.Background(), m, "s000", 0, dir)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("resume over corrupt partial must recover, got %v", err)
+	}
+	if counters.Quarantined != 1 {
+		t.Errorf("quarantined %d, want 1", counters.Quarantined)
+	}
+	if counters.CellsLoaded != 1 || counters.CellsComputed != 3 {
+		t.Errorf("counters %+v, want 1 loaded (intact survivor) / 3 computed", counters)
+	}
+	qpath := filepath.Join(CorruptDir(dir), cellFileName(spec.Cells[0]))
+	if _, err := os.Stat(qpath); err != nil {
+		t.Errorf("poisoned partial not quarantined at %s: %v", qpath, err)
+	}
+	if _, err := os.Stat(qpath + ".reason"); err != nil {
+		t.Errorf("no reason file next to quarantined partial: %v", err)
 	}
 	plain, err := Run(context.Background(), m, "s000", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(plain.Points, resumed.Points) {
-		t.Errorf("kill+resume points differ from uninterrupted run:\n%+v\nvs\n%+v", plain.Points, resumed.Points)
+		t.Errorf("kill+corrupt+resume points differ from uninterrupted run:\n%+v\nvs\n%+v", plain.Points, resumed.Points)
 	}
 }
 
 // Partials from a different sweep (same directory reused for another
-// plan) must fail loudly, not silently recompute or — worse — merge.
+// plan) must fail loudly, not silently recompute or — worse — merge:
+// unlike corruption, this is an operator mixup quarantining would
+// mask.
 func TestRunResumableRejectsForeignPartials(t *testing.T) {
 	sw := testSpec()
 	m, err := Plan(sw, 1)
@@ -103,7 +129,7 @@ func TestRunResumableRejectsForeignPartials(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if _, err := RunResumable(context.Background(), m, "s000", 0, dir); err != nil {
+	if _, _, err := RunResumable(context.Background(), m, "s000", 0, dir); err != nil {
 		t.Fatal(err)
 	}
 	other := sw
@@ -112,34 +138,53 @@ func TestRunResumableRejectsForeignPartials(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunResumable(context.Background(), m2, "s000", 0, dir); err == nil {
+	if _, _, err := RunResumable(context.Background(), m2, "s000", 0, dir); err == nil {
 		t.Error("partials of a different sweep accepted")
 	}
 }
 
-// A cell partial whose stats do not cover its claimed range (torn by
-// hand, truncated accumulators) is rejected at load time, mirroring
-// Merge's internal-consistency check.
-func TestRunResumableRejectsInconsistentPartial(t *testing.T) {
-	m, err := Plan(testSpec(), 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dir := t.TempDir()
-	if _, err := RunResumable(context.Background(), m, "s000", 0, dir); err != nil {
-		t.Fatal(err)
-	}
-	spec, _ := m.Shard("s000")
-	path := filepath.Join(dir, cellFileName(spec.Cells[0]))
-	ca, err := loadCell(path, m.Sweep, spec.Cells[0])
-	if err != nil {
-		t.Fatal(err)
-	}
-	ca.Stats.Trials--
-	if err := writeJSONAtomic(path, ca); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := RunResumable(context.Background(), m, "s000", 0, dir); err == nil {
-		t.Error("internally inconsistent cell partial accepted")
+// Tampered partials are caught and quarantined, by either tripwire: a
+// content edit under an unchanged checksum mismatches the checksum,
+// and a checksum-stripped (legacy-looking) partial whose stats do not
+// cover its claimed range fails the internal-consistency check that
+// mirrors Merge's.
+func TestRunResumableQuarantinesTamperedPartial(t *testing.T) {
+	for _, strip := range []bool{false, true} {
+		m, err := Plan(testSpec(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		baseline, _, err := RunResumable(context.Background(), m, "s000", 0, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, _ := m.Shard("s000")
+		path := filepath.Join(dir, cellFileName(spec.Cells[0]))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ca CellArtifact
+		if err := json.Unmarshal(data, &ca); err != nil {
+			t.Fatal(err)
+		}
+		ca.Stats.Trials-- // now inconsistent with the cell's range
+		if strip {
+			ca.Checksum = "" // legacy-looking: consistency check must catch it
+		}
+		if err := writeJSONAtomic(path, &ca); err != nil {
+			t.Fatal(err)
+		}
+		res, counters, err := RunResumable(context.Background(), m, "s000", 0, dir)
+		if err != nil {
+			t.Fatalf("strip=%v: tampered partial must be quarantined and recomputed, got %v", strip, err)
+		}
+		if counters.Quarantined != 1 {
+			t.Errorf("strip=%v: quarantined %d, want 1", strip, counters.Quarantined)
+		}
+		if !reflect.DeepEqual(baseline.Points, res.Points) {
+			t.Errorf("strip=%v: recovered points differ from baseline", strip)
+		}
 	}
 }

@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// ErrQueueIO marks a queue-directory operation that still failed
+// after the bounded transient-error retry budget: the filesystem is
+// not merely hiccuping, and the dispatcher gives up rather than
+// spinning. ppsweep maps it to its own exit code so operators can
+// tell "queue storage is broken" from "a shard's work failed".
+var ErrQueueIO = errors.New("shard: queue I/O failed after retries")
+
+// queueEnv bundles what every queue-directory touch needs: the
+// (injectable) filesystem seam, the transient-retry policy, and the
+// degradation counters. One env serves one Dispatch or RunResumable
+// call; counters are only touched from its goroutine.
+type queueEnv struct {
+	fsys     faultfs.FS
+	attempts int           // total tries per operation, >= 1
+	base     time.Duration // first backoff; doubles up to cap
+	cap      time.Duration
+	rng      uint64 // splitmix64 state for jitter
+	counters *Counters
+}
+
+func newQueueEnv(fsys faultfs.FS, attempts int, base time.Duration, c *Counters) *queueEnv {
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	if attempts <= 0 {
+		attempts = 5
+	}
+	if base <= 0 {
+		base = 20 * time.Millisecond
+	}
+	if c == nil {
+		c = &Counters{}
+	}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return &queueEnv{
+		fsys:     fsys,
+		attempts: attempts,
+		base:     base,
+		cap:      1024 * base,
+		rng:      binary.LittleEndian.Uint64(seed[:]),
+		counters: c,
+	}
+}
+
+func (e *queueEnv) splitmix() uint64 {
+	e.rng += 0x9e3779b97f4a7c15
+	z := e.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b5b9
+	z = (z ^ (z >> 27)) * 0x94d35a2d9c2c2a49
+	return z ^ (z >> 31)
+}
+
+// jitter draws a full-jitter delay: uniform in [0, d), floored at 1ms
+// so exhausted-entropy draws cannot busy-spin.
+func (e *queueEnv) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Millisecond
+	}
+	j := time.Duration(e.splitmix() % uint64(d))
+	if j < time.Millisecond {
+		j = time.Millisecond
+	}
+	return j
+}
+
+// sleep waits for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retry runs f, absorbing transient errors (faultfs.Transient) with
+// exponential backoff plus full jitter, up to the attempt budget.
+// Permanent errors return immediately; an exhausted budget returns
+// the last error wrapped in ErrQueueIO.
+func (e *queueEnv) retry(ctx context.Context, op string, f func() error) error {
+	delay := e.base
+	for attempt := 1; ; attempt++ {
+		err := f()
+		if err == nil || !faultfs.Transient(err) {
+			return err
+		}
+		if attempt >= e.attempts {
+			return fmt.Errorf("%w: %s: %w", ErrQueueIO, op, err)
+		}
+		e.counters.Retries++
+		if serr := sleepCtx(ctx, e.jitter(delay)); serr != nil {
+			return serr
+		}
+		if delay < e.cap {
+			delay *= 2
+		}
+	}
+}
+
+// tmpCounter makes temp names unique within the process; the PID
+// component keeps concurrent processes on one queue directory apart.
+var tmpCounter atomic.Uint64
+
+func tmpName(path string) string {
+	return fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpCounter.Add(1))
+}
+
+// atomicWriteFS writes data to path durably: unique temp file in the
+// same directory, fsynced, atomic rename, directory fsynced. Readers
+// never observe a torn document, and a host crash after the rename
+// cannot surface an empty or partial file the way rename-without-sync
+// can on ext4/NFS.
+func atomicWriteFS(fsys faultfs.FS, path string, data []byte) error {
+	tmp := tmpName(path)
+	if err := fsys.WriteFileSync(tmp, data, 0o644); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// writeSealedRetry seals v and publishes it atomically, retrying
+// transient failures of each step as one unit (a retried rename whose
+// first attempt actually succeeded is idempotent: same temp content,
+// same target).
+func (e *queueEnv) writeSealedRetry(ctx context.Context, path string, v sealable) error {
+	data, err := sealJSON(v)
+	if err != nil {
+		return err
+	}
+	return e.retry(ctx, "write "+filepath.Base(path), func() error {
+		return atomicWriteFS(e.fsys, path, data)
+	})
+}
+
+// readRetry reads path with transient-retry; a missing file is
+// returned as (nil, nil) — absence is a normal queue state, not an
+// error.
+func (e *queueEnv) readRetry(ctx context.Context, path string) ([]byte, error) {
+	var data []byte
+	err := e.retry(ctx, "read "+filepath.Base(path), func() error {
+		var rerr error
+		data, rerr = e.fsys.ReadFile(path)
+		if rerr != nil && errors.Is(rerr, fs.ErrNotExist) {
+			data = nil
+			return nil
+		}
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// existsRetry stats path with transient-retry.
+func (e *queueEnv) existsRetry(ctx context.Context, path string) (bool, error) {
+	var found bool
+	err := e.retry(ctx, "stat "+filepath.Base(path), func() error {
+		_, serr := e.fsys.Stat(path)
+		if serr == nil {
+			found = true
+			return nil
+		}
+		if errors.Is(serr, fs.ErrNotExist) {
+			found = false
+			return nil
+		}
+		return serr
+	})
+	return found, err
+}
+
+// CorruptDir is the quarantine subdirectory corrupt artifacts are
+// moved to, next to the files they were found among (the queue
+// directory for part-*.json, the partials directory for cell
+// partials). Each quarantined file gains a sibling
+// "<name>.reason" explaining why it was pulled.
+func CorruptDir(dir string) string { return filepath.Join(dir, "corrupt") }
+
+// quarantine moves the corrupt file at path into its directory's
+// corrupt/ subdirectory with a reason file, so the cell or shard is
+// recomputed instead of merged — and never re-read in a loop, because
+// the move removes it from the queue's namespace while preserving the
+// evidence for operators. Name collisions (the same artifact
+// quarantined across attempts) get a numeric suffix.
+func (e *queueEnv) quarantine(ctx context.Context, path, reason string) error {
+	qdir := CorruptDir(filepath.Dir(path))
+	if err := e.retry(ctx, "mkdir corrupt/", func() error {
+		return e.fsys.MkdirAll(qdir, 0o755)
+	}); err != nil {
+		return err
+	}
+	base := filepath.Base(path)
+	dst := filepath.Join(qdir, base)
+	for i := 2; ; i++ {
+		taken, err := e.existsRetry(ctx, dst)
+		if err != nil {
+			return err
+		}
+		if !taken {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, i))
+	}
+	err := e.retry(ctx, "quarantine "+base, func() error {
+		rerr := e.fsys.Rename(path, dst)
+		if rerr != nil && errors.Is(rerr, fs.ErrNotExist) {
+			// A racing dispatcher quarantined (or re-published) it first.
+			return nil
+		}
+		return rerr
+	})
+	if err != nil {
+		return err
+	}
+	// The reason file is evidence, not protocol state: best effort.
+	_ = e.fsys.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
+	e.counters.Quarantined++
+	log.Printf("shard: quarantined %s: %s", dst, reason)
+	return nil
+}

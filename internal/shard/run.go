@@ -27,6 +27,10 @@ type Artifact struct {
 	Shard  Spec           `json:"shard"`
 	Points []PartialPoint `json:"points"`
 	Host   hostmeta.Meta  `json:"host"`
+	// Checksum is the content checksum ("crc32c:…") over the
+	// document's canonical form; absent in pre-checksum artifacts,
+	// which load on schema checks alone.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // Run executes one shard of the manifest and returns its artifact.

@@ -28,6 +28,23 @@
 // resumes and redispatches still merges bit-identically to the
 // single-process sweep, because execution is idempotent under the two
 // invariants above.
+//
+// The queue is hardened for lossy shared filesystems. Every artifact
+// the queue trades in (cell partials, shard artifacts, lease files)
+// carries a canonical-JSON CRC-32C checksum verified on every read;
+// a document that fails its checksum — torn write, bit rot, stray
+// editor — is moved to a corrupt/ quarantine beside a .reason file
+// and its work recomputed, never silently merged and never re-read
+// in a loop. (The final Merged output deliberately has no checksum,
+// so byte-diffing merged files across runs stays meaningful.) Queue
+// I/O retries transient errors (the ESTALE/EINTR family) with
+// exponential backoff and full jitter before giving up with
+// ErrQueueIO, and lease liveness is judged by each observer's own
+// clock watching the lease's monotonic heartbeat sequence — never by
+// comparing wall-clock stamps across hosts — so clock skew can
+// neither rob a live owner nor keep a dead one's lease. All I/O goes
+// through the faultfs seam, so every one of these failure paths is
+// exercised by seeded, reproducible fault schedules.
 package shard
 
 import (
