@@ -1,4 +1,4 @@
-// Command ppbench runs the reproduction experiments E1–E11 (see
+// Command ppbench runs the reproduction experiments E1–E12w (see
 // DESIGN.md) and prints each as a paper-shaped table with the claim it
 // reproduces and the measured verdict.
 //

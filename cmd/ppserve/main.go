@@ -1,0 +1,242 @@
+// Command ppserve runs the protocol-query daemon and its replay
+// client.
+//
+// Usage:
+//
+//	ppserve serve -addr 127.0.0.1:8372 -store ppserve-store
+//	ppserve replay -addr http://127.0.0.1:8372 -file queries.jsonl \
+//	        -passes 2 -min-hit-rate 0.9
+//
+// serve starts the long-lived daemon: POST /v1/simulate, /v1/verify
+// and /v1/bounds evaluate queries with a persistent content-addressed
+// result cache under -store (a repeated query — in any equivalent
+// spelling — is a file read, across restarts); GET /v1/jobs/{id}
+// inspects a request's lifecycle record and GET /metrics reports the
+// cache hit rate, per-phase latencies, admission balance and store
+// footprint. -addr may end in :0 to pick a free port; -addr-file
+// writes the actual listening address for scripts to read. SIGINT
+// shuts the daemon down gracefully.
+//
+// replay streams a JSONL query file (one {"path": ..., "body": {...}}
+// object per line; blank and #-comment lines skipped) at a running
+// daemon, -passes times over, and reports each pass's cache hit rate
+// from the X-Cache response headers. With -min-hit-rate it exits
+// non-zero when the final pass's rate falls below the floor — the CI
+// serve-smoke drill replays a mixed query file twice and requires
+// ≥0.9 on the warm pass.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ppserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("subcommand required: serve | replay")
+	}
+	switch args[0] {
+	case "serve":
+		return runServe(ctx, args[1:], out)
+	case "replay":
+		return runReplay(ctx, args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func runServe(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppserve serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8372", "listen address (port 0 picks a free port)")
+	storeDir := fs.String("store", "ppserve-store", "result store directory")
+	workers := fs.Int("workers", 0, "per-query worker budget (0 = all cores)")
+	admit := fs.Int64("admit", 0, "admission bucket capacity in cost units (0 = default)")
+	jobWindow := fs.Int("job-window", 0, "jobs kept for /v1/jobs (0 = default)")
+	addrFile := fs.String("addr-file", "", "write the actual listening address to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := serve.New(serve.Config{
+		StoreDir:      *storeDir,
+		Workers:       *workers,
+		AdmitCapacity: *admit,
+		JobWindow:     *jobWindow,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	actual := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(actual+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(out, "ppserve: listening on http://%s (store %s)\n", actual, *storeDir)
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "ppserve: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// replayQuery is one line of a replay file.
+type replayQuery struct {
+	Path string          `json:"path"`
+	Body json.RawMessage `json:"body"`
+}
+
+func readQueries(path string) ([]replayQuery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var queries []replayQuery
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var q replayQuery
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&q); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if !strings.HasPrefix(q.Path, "/v1/") || len(q.Body) == 0 {
+			return nil, fmt.Errorf("%s:%d: need a /v1/... path and a body", path, line)
+		}
+		queries = append(queries, q)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("%s: no queries", path)
+	}
+	return queries, nil
+}
+
+func runReplay(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppserve replay", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8372", "daemon base URL")
+	file := fs.String("file", "", "JSONL query file (required)")
+	passes := fs.Int("passes", 2, "number of replay passes")
+	minHitRate := fs.Float64("min-hit-rate", 0, "fail unless the final pass's hit rate reaches this floor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("-file is required")
+	}
+	if *passes < 1 {
+		return fmt.Errorf("-passes must be positive (got %d)", *passes)
+	}
+	queries, err := readQueries(*file)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(*addr, "/")
+	client := &http.Client{}
+	var lastRate float64
+	for pass := 1; pass <= *passes; pass++ {
+		hits := 0
+		for i, q := range queries {
+			req, err := http.NewRequestWithContext(ctx, "POST", base+q.Path, bytes.NewReader(q.Body))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("pass %d query %d (%s): %s: %s", pass, i+1, q.Path, resp.Status, bytes.TrimSpace(body))
+			}
+			if resp.Header.Get("X-Cache") == "hit" {
+				hits++
+			}
+		}
+		lastRate = float64(hits) / float64(len(queries))
+		fmt.Fprintf(out, "pass %d: %d/%d hits (%.1f%%)\n", pass, hits, len(queries), 100*lastRate)
+	}
+	if err := printMetrics(ctx, client, base, out); err != nil {
+		return err
+	}
+	if *minHitRate > 0 && lastRate < *minHitRate {
+		return fmt.Errorf("final pass hit rate %.3f below the %.3f floor", lastRate, *minHitRate)
+	}
+	return nil
+}
+
+// printMetrics summarizes the daemon's own view after a replay, so a
+// drill's log shows the server-side hit rate next to the client-side
+// one.
+func printMetrics(ctx context.Context, client *http.Client, base string, out io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var m serve.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return fmt.Errorf("/metrics: %w", err)
+	}
+	fmt.Fprintf(out, "daemon: requests=%d failures=%d cache hit_rate=%.3f (hits=%d dedups=%d misses=%d) store objects=%d bytes=%d\n",
+		m.Requests, m.Failures, m.Cache.HitRate, m.Cache.Hits, m.Cache.Dedups, m.Cache.Misses,
+		m.Store.Objects, m.Store.Bytes)
+	return nil
+}

@@ -30,6 +30,14 @@ func TestPackageDocsStateInvariants(t *testing.T) {
 		"internal/petri": {"arena", "CSR", "zero-copy", "worker count"},
 		// Bounded exactness and deterministic report order (PR 4).
 		"internal/verify": {"exact", "enumeration order", "budget"},
+		// The shared canonical-JSON/checksum convention (PR 8).
+		"internal/canon": {"canonical", "CRC-32C", "sorted keys", "checksum", "json.Number"},
+		// The daemon's caching, lifecycle, and admission contracts (PR 8).
+		"internal/serve": {"canonical", "content-addressed", "singleflight", "token bucket", "quarantined"},
+		// Key stability is the cache-correctness contract (PR 8).
+		"internal/serve/key": {"canonical", "SchemaVersion", "golden", "SHA-256"},
+		// Store durability and exactly-once compute (PR 8).
+		"internal/serve/store": {"singleflight", "quarantined", "rename", "checksum", "fsync"},
 	}
 	for dir, wants := range requirements {
 		doc := packageDoc(t, dir)

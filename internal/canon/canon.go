@@ -1,0 +1,70 @@
+// Package canon is the shared canonical-JSON and content-checksum
+// machinery under every persisted artifact in the repo: shard queue
+// documents (cell partials, part-*.json, leases) and the ppserve
+// result store both seal and verify documents through it, and the
+// serve cache keys are derived from its canonical form. Canonical
+// means whitespace- and key-order-insensitive and number-exact:
+// documents are parsed with json.Number (so 64-bit accumulator sums
+// above 2^53 re-emit digit for digit), selected top-level members are
+// dropped (the embedded "checksum" field, which cannot cover itself),
+// and the object is re-marshaled compact with sorted keys. Two
+// documents that differ only in formatting or member order therefore
+// canonicalize to the same bytes, while any content change — a torn
+// write, a truncated tail, a flipped bit, an edited field — changes
+// them.
+//
+// Checksums are CRC-32C (Castagnoli) over the canonical bytes,
+// rendered "crc32c:%08x". CRC-32C detects the corruption classes an
+// artifact store sees (torn writes, bit rot) at 4 bytes per document;
+// callers needing collision resistance against *distinct inputs* —
+// cache keys, content addresses — hash the canonical bytes with
+// SHA-256 instead (see internal/serve/key). The checksum member
+// convention is shared repo-wide: a sealed document carries
+// `"checksum":"crc32c:…"` computed over itself with that one member
+// removed, so reformatting a document by hand does not invalidate it.
+package canon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+var crcCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC32C is the repo's artifact checksum function: CRC-32 with the
+// Castagnoli polynomial.
+func CRC32C(data []byte) uint32 { return crc32.Checksum(data, crcCastagnoli) }
+
+// FormatChecksum renders a CRC-32C sum in the artifact convention.
+func FormatChecksum(sum uint32) string { return fmt.Sprintf("crc32c:%08x", sum) }
+
+// Canonicalize parses one JSON object with exact numbers, drops the
+// named top-level members, and re-marshals compact with sorted keys.
+// The result is the document's canonical form: independent of
+// whitespace, member order, and the dropped members' values.
+func Canonicalize(doc []byte, drop ...string) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.UseNumber()
+	var m map[string]any
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("canon: canonicalize unparseable document: %w", err)
+	}
+	for _, d := range drop {
+		delete(m, d)
+	}
+	return json.Marshal(m)
+}
+
+// Checksum computes the canonical content checksum of one document:
+// Canonicalize with the given members dropped, then CRC-32C in the
+// "crc32c:%08x" rendering. Sealed artifacts call it with "checksum"
+// dropped, so the stored sum covers everything but itself.
+func Checksum(doc []byte, drop ...string) (string, error) {
+	canonical, err := Canonicalize(doc, drop...)
+	if err != nil {
+		return "", err
+	}
+	return FormatChecksum(CRC32C(canonical)), nil
+}

@@ -1,0 +1,80 @@
+package canon
+
+import (
+	"strings"
+	"testing"
+)
+
+// Canonicalization must be insensitive to whitespace and member order,
+// drop the named members, and keep big integers digit-exact.
+func TestCanonicalizeNormalizes(t *testing.T) {
+	a := []byte(`{"b": 1, "a": {"y": 2, "x": 9007199254740993}, "checksum": "crc32c:deadbeef"}`)
+	b := []byte("{\n  \"checksum\": \"crc32c:00000000\",\n  \"a\": {\"x\": 9007199254740993, \"y\": 2},\n  \"b\": 1\n}")
+	ca, err := Canonicalize(a, "checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Canonicalize(b, "checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ca) != string(cb) {
+		t.Fatalf("canonical forms differ:\n%s\n%s", ca, cb)
+	}
+	// 2^53+1 is not representable in float64; a lossy parse would have
+	// rounded it to ...992.
+	if !strings.Contains(string(ca), "9007199254740993") {
+		t.Fatalf("big integer not digit-exact in %s", ca)
+	}
+	if strings.Contains(string(ca), "checksum") {
+		t.Fatalf("dropped member survived in %s", ca)
+	}
+}
+
+func TestChecksumMatchesAcrossFormatting(t *testing.T) {
+	a := []byte(`{"k": 1, "v": [1, 2, 3]}`)
+	b := []byte("{ \"v\": [1,2,3],\n \"k\": 1 }")
+	sa, err := Checksum(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Checksum(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("reformatting changed the checksum: %s vs %s", sa, sb)
+	}
+	if !strings.HasPrefix(sa, "crc32c:") || len(sa) != len("crc32c:")+8 {
+		t.Fatalf("bad checksum rendering %q", sa)
+	}
+	sc, err := Checksum([]byte(`{"k": 2, "v": [1, 2, 3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc == sa {
+		t.Fatal("content change did not change the checksum")
+	}
+}
+
+func TestChecksumUnparseable(t *testing.T) {
+	if _, err := Checksum([]byte(`{"torn": tr`)); err == nil {
+		t.Fatal("unparseable document checksummed without error")
+	}
+}
+
+// The rendered sum is pinned so the convention cannot silently drift:
+// every sealed artifact in the repo (shard queue documents, serve
+// store artifacts) and the golden files that pin them depend on it.
+func TestChecksumGolden(t *testing.T) {
+	got, err := Checksum([]byte(`{"a": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := FormatChecksum(CRC32C([]byte(`{"a":1}`))); got != want {
+		t.Fatalf("Checksum = %s, canonical CRC32C = %s", got, want)
+	}
+	if got != "crc32c:cff7d56a" {
+		t.Fatalf("pinned checksum drifted: %s", got)
+	}
+}

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiments E1–E11
+// Package experiments implements the reproduction experiments E1–E12w
 // indexed in DESIGN.md. Each experiment returns a Table whose rows
 // reproduce the corresponding quantitative claim of the paper; the
 // cmd/ppbench binary prints them and the top-level benchmarks time
@@ -769,6 +769,11 @@ func Index() []NamedExperiment {
 		{"E9", E9Stabilized},
 		{"E10", E10Convergence},
 		{"E11", E11LargeNBatch},
+		// E12 (cold) must precede E12w (warm): they share one daemon,
+		// so the cold replay doubles as the warm replay's prewarm and
+		// the timing artifact's E12/E12w pair is a true cold/warm gap.
+		{"E12", E12ServeReplayCold},
+		{"E12w", E12wServeReplayWarm},
 	}
 }
 

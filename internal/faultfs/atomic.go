@@ -1,0 +1,39 @@
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// tmpCounter makes temp names unique within the process; the PID
+// component keeps concurrent processes on one directory apart.
+var tmpCounter atomic.Uint64
+
+// TmpName derives a unique sibling temp name for an atomic publish of
+// path: same directory (so the rename cannot cross filesystems),
+// process-unique suffix.
+func TmpName(path string) string {
+	return fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpCounter.Add(1))
+}
+
+// AtomicWrite writes data to path durably through the seam: unique
+// temp file in the same directory, fsynced, atomic rename, directory
+// fsynced. Readers never observe a torn document, and a host crash
+// after the rename cannot surface an empty or partial file the way
+// rename-without-sync can on ext4/NFS. Both the shard queue and the
+// serve result store publish every artifact through this sequence, so
+// fault injection on any FS implementation exercises each step.
+func AtomicWrite(fsys FS, path string, data []byte) error {
+	tmp := TmpName(path)
+	if err := fsys.WriteFileSync(tmp, data, 0o644); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}

@@ -5,6 +5,7 @@
 package hostmeta
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"runtime"
@@ -63,6 +64,19 @@ var processStart = time.Now().UTC()
 // CollectProcess gathers the current process's identity.
 func CollectProcess() Process {
 	return Process{Meta: Collect(), PID: os.Getpid(), StartedAt: processStart}
+}
+
+// Instance renders the process identity as one "host/pid/startstamp"
+// token — the serving-instance tag ppserve stamps into store
+// artifacts and /metrics, so a cached result names the daemon
+// incarnation that computed it. Like StartedAt it is telemetry:
+// correctness never depends on its uniqueness.
+func (p Process) Instance() string {
+	host := p.Hostname
+	if host == "" {
+		host = "unknown-host"
+	}
+	return fmt.Sprintf("%s/%d/%s", host, p.PID, p.StartedAt.Format(time.RFC3339))
 }
 
 // Commit best-efforts the VCS revision: the build info stamp when the

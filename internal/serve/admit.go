@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/serve/key"
+	"repro/internal/shard"
+)
+
+// admitter is ppserve's admission control: a token bucket sized in
+// shard cost-model units. Each request estimates its cost before any
+// work runs and must acquire that many tokens; requests over capacity
+// are rejected outright (they could never run), requests over the
+// currently available balance wait their turn or give up with their
+// context. Tokens are returned when the request reaches a terminal
+// state, so a burst of expensive queries queues instead of stampeding
+// the samplers.
+type admitter struct {
+	capacity int64
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	avail int64
+	// rejected counts requests refused outright (cost > capacity).
+	rejected int64
+}
+
+func newAdmitter(capacity int64) *admitter {
+	if capacity <= 0 {
+		capacity = defaultAdmitCapacity
+	}
+	a := &admitter{capacity: capacity, avail: capacity}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// defaultAdmitCapacity is roughly one maximal verify query (budget
+// 1<<20 configurations) plus headroom for cheap traffic alongside it.
+const defaultAdmitCapacity = 3 << 19
+
+// acquire blocks until n tokens are available or ctx is done. A
+// request costing more than the whole bucket is rejected immediately:
+// it would starve forever otherwise.
+func (a *admitter) acquire(ctx context.Context, n int64) error {
+	if n <= 0 {
+		n = 1
+	}
+	if n > a.capacity {
+		a.mu.Lock()
+		a.rejected++
+		a.mu.Unlock()
+		return fmt.Errorf("serve: query cost %d exceeds admission capacity %d; shrink trials, budget, or population", n, a.capacity)
+	}
+	// Waiters park on the cond; context cancellation has to wake them.
+	stop := context.AfterFunc(ctx, func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		a.cond.Broadcast()
+	})
+	defer stop()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.avail < n {
+		if ctx.Err() != nil {
+			return fmt.Errorf("serve: admission wait: %w", ctx.Err())
+		}
+		a.cond.Wait()
+	}
+	a.avail -= n
+	return nil
+}
+
+// release returns n tokens and wakes waiters.
+func (a *admitter) release(n int64) {
+	if n <= 0 {
+		n = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.avail += n
+	if a.avail > a.capacity {
+		a.avail = a.capacity
+	}
+	a.cond.Broadcast()
+}
+
+// snapshot returns (capacity, available, rejected) for /metrics.
+func (a *admitter) snapshot() (int64, int64, int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.capacity, a.avail, a.rejected
+}
+
+// queryCost estimates a normalized query's token cost in shard
+// cost-model units. Bounds queries are closed-form arithmetic: one
+// token. Verify is bounded by its configuration budget. Simulation
+// reuses the shard dispatcher's per-scheduler cost model over the
+// population size, times trials.
+func queryCost(q *key.Query) int64 {
+	switch q.Kind {
+	case key.KindBounds:
+		return 1
+	case key.KindVerify:
+		return int64(q.Verify.Budget)
+	case key.KindSimulate:
+		p := q.Simulate
+		model := shard.DefaultCost(p.Scheduler)
+		per := model.TrialCost(p.X + p.Y)
+		if per <= 0 {
+			per = 1
+		}
+		trials := int64(p.Trials)
+		if trials > 0 && per > math.MaxInt64/trials {
+			return math.MaxInt64
+		}
+		return per * trials
+	default:
+		return 1
+	}
+}

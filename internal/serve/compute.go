@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/petri"
+	"repro/internal/registry"
+	"repro/internal/serve/key"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// compute evaluates one normalized query to its result document — the
+// json.RawMessage sealed into the store artifact. It runs only on a
+// cache miss, inside the store's singleflight, with the daemon's
+// worker budget; everything request-dependent is already pinned in
+// the query (and hence in the cache key), so the same query computes
+// the same document on any host.
+func (s *Server) compute(ctx context.Context, q *key.Query) (json.RawMessage, error) {
+	switch q.Kind {
+	case key.KindSimulate:
+		return s.computeSimulate(ctx, q)
+	case key.KindVerify:
+		return s.computeVerify(q)
+	case key.KindBounds:
+		return computeBounds(q.Bounds)
+	default:
+		return nil, fmt.Errorf("serve: no compute for kind %q", q.Kind)
+	}
+}
+
+// SimulateResult is the /v1/simulate result document.
+type SimulateResult struct {
+	Predicate string    `json:"predicate"`
+	Expected  bool      `json:"expected"`
+	Stats     sim.Stats `json:"stats"`
+	// MeanSteps and ConvergedRate summarize Stats for human readers;
+	// they are derived, so recomputation cannot disagree with Stats.
+	MeanSteps     float64 `json:"mean_steps"`
+	ConvergedRate float64 `json:"converged_rate"`
+	CorrectRate   float64 `json:"correct_rate"`
+}
+
+func (s *Server) computeSimulate(ctx context.Context, q *key.Query) (json.RawMessage, error) {
+	sp := q.Simulate
+	p, n, err := registry.Make(q.Spec.Protocol, q.Spec.Param)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := sim.SchedulerByName(sp.Scheduler, sp.Batch, sp.Eps, s.workers)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int64{}
+	initial := p.InitialStates()
+	counts[initial[0]] = sp.X
+	if len(initial) > 1 {
+		counts[initial[1]] = sp.Y
+	}
+	input, err := p.Input(counts)
+	if err != nil {
+		return nil, err
+	}
+	var res SimulateResult
+	if n > 0 {
+		res.Predicate = fmt.Sprintf("%s >= %d", initial[0], n)
+		res.Expected = sp.X >= n
+	} else {
+		res.Predicate = fmt.Sprintf("%s > %s", initial[0], initial[1])
+		res.Expected = sp.X > sp.Y
+	}
+	stats, err := sim.RunMany(ctx, p, input, res.Expected, sp.Trials, sim.Options{
+		Seed:           sp.Seed,
+		MaxSteps:       sp.MaxSteps,
+		StablePatience: sp.Patience,
+		Scheduler:      sched,
+		Workers:        s.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = *stats
+	if stats.Trials > 0 {
+		res.MeanSteps = float64(stats.SumSteps) / float64(stats.Trials)
+		res.ConvergedRate = float64(stats.Converged) / float64(stats.Trials)
+		res.CorrectRate = float64(stats.Correct) / float64(stats.Trials)
+	}
+	return json.Marshal(res)
+}
+
+// VerifyResult is the /v1/verify result document: the per-input
+// reports collapsed to the verdict surface a client acts on.
+type VerifyResult struct {
+	Predicate  string `json:"predicate"`
+	MaxX       int64  `json:"max_x"`
+	Inputs     int    `json:"inputs"`
+	OK         bool   `json:"ok"`
+	Failures   []int  `json:"failures,omitempty"`
+	MaxConfigs int    `json:"max_configs"`
+}
+
+func (s *Server) computeVerify(q *key.Query) (json.RawMessage, error) {
+	p, n, err := registry.Make(q.Spec.Protocol, q.Spec.Param)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: %s is not a counting protocol", q.Spec.Protocol)
+	}
+	state := p.InitialStates()[0]
+	rr, err := verify.Counting(p, state, n, q.Verify.MaxX, petri.Budget{
+		MaxConfigs: q.Verify.Budget,
+		Workers:    s.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := VerifyResult{
+		Predicate:  fmt.Sprintf("%s >= %d", state, n),
+		MaxX:       q.Verify.MaxX,
+		Inputs:     len(rr.Reports),
+		OK:         rr.OK(),
+		Failures:   rr.Failures,
+		MaxConfigs: rr.MaxConfigs,
+	}
+	return json.Marshal(res)
+}
+
+// BoundsRow is one row of a /v1/bounds result table.
+type BoundsRow struct {
+	K     int     `json:"k"`
+	Value float64 `json:"value"`
+}
+
+// BoundsResult is the /v1/bounds result document. Scalar ops fill
+// Value; table ops (thm43, cor44) fill Rows; section8 fills Cascade.
+type BoundsResult struct {
+	Op      string             `json:"op"`
+	Value   float64            `json:"value,omitempty"`
+	Rows    []BoundsRow        `json:"rows,omitempty"`
+	Cascade map[string]float64 `json:"cascade,omitempty"`
+	// Unit names what the numbers are (log10, states, ...), so the
+	// document is self-describing.
+	Unit string `json:"unit"`
+}
+
+// computeBounds mirrors the ppbounds subcommands over the same
+// internal/bounds entry points, returning values instead of printed
+// tables.
+func computeBounds(bp *key.BoundsParams) (json.RawMessage, error) {
+	res := BoundsResult{Op: bp.Op}
+	switch bp.Op {
+	case "thm43":
+		res.Unit = "log10(max n) per d"
+		for d := 1; d <= bp.D; d++ {
+			m := bounds.Theorem43MaxN(d, bp.W, bp.L)
+			res.Rows = append(res.Rows, BoundsRow{K: d, Value: m.Log10()})
+		}
+	case "minstates":
+		res.Unit = "states"
+		res.Value = float64(bounds.MinStatesTheorem43(bp.Log10N, bp.M))
+	case "cor44":
+		res.Unit = "state lower bound per k (n = 2^(2^k))"
+		for k := 1; k <= bp.KMax; k++ {
+			lb := bounds.Corollary44LowerBound(math.Pow(2, float64(k)), bp.H, bp.M)
+			res.Rows = append(res.Rows, BoundsRow{K: k, Value: lb})
+		}
+	case "rackoff":
+		res.Unit = "log10(covering word length)"
+		res.Value = bounds.Rackoff(bp.D, bp.R, bp.T).Log10()
+	case "section8":
+		res.Unit = "log10 per cascade stage"
+		s8, err := bounds.NewSection8(bp.D, bp.T, bp.L)
+		if err != nil {
+			return nil, err
+		}
+		res.Cascade = map[string]float64{
+			"b": s8.B.Log10(),
+			"h": s8.H.Log10(),
+			"k": s8.K.Log10(),
+			"a": s8.A.Log10(),
+			"l": s8.L.Log10(),
+			"n": s8.N.Log10(),
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown bounds op %q", bp.Op)
+	}
+	return json.Marshal(res)
+}

@@ -1,0 +1,187 @@
+package key
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func mustKey(t *testing.T, q *Query) Key {
+	t.Helper()
+	k, err := Of(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func simQuery() *Query {
+	return &Query{
+		Kind:     KindSimulate,
+		Spec:     Spec{Protocol: "flock", Param: 4},
+		Simulate: &SimulateParams{X: 8, Trials: 3, Seed: 7, MaxSteps: 200000, Patience: 1000, Scheduler: "weighted"},
+	}
+}
+
+// Keying must be insensitive to spelled-out defaults: the same
+// computation requested tersely and verbosely is one cache entry.
+func TestDefaultsShareKeys(t *testing.T) {
+	terse := &Query{
+		Kind:     KindSimulate,
+		Spec:     Spec{Protocol: "flock", Param: 4},
+		Simulate: &SimulateParams{X: 8},
+	}
+	verbose := &Query{
+		Kind:     KindSimulate,
+		Spec:     Spec{Protocol: "flock", Param: 4},
+		Simulate: &SimulateParams{X: 8, Trials: 1, Seed: 1, MaxSteps: 1 << 20, Scheduler: "weighted"},
+	}
+	if a, b := mustKey(t, terse), mustKey(t, verbose); a != b {
+		t.Fatalf("defaulted and explicit queries split keys: %s vs %s", a, b)
+	}
+
+	tv := &Query{Kind: KindVerify, Spec: Spec{Protocol: "flock", Param: 4}, Verify: &VerifyParams{}}
+	vv := &Query{Kind: KindVerify, Spec: Spec{Protocol: "flock", Param: 4}, Verify: &VerifyParams{MaxX: 7, Budget: 1 << 20}}
+	if a, b := mustKey(t, tv), mustKey(t, vv); a != b {
+		t.Fatalf("verify max_x default (n+3) split keys: %s vs %s", a, b)
+	}
+
+	tb := &Query{Kind: KindBounds, Bounds: &BoundsParams{Op: "thm43"}}
+	vb := &Query{Kind: KindBounds, Bounds: &BoundsParams{Op: "thm43", D: 10, W: 2, L: 2}}
+	if a, b := mustKey(t, tb), mustKey(t, vb); a != b {
+		t.Fatalf("bounds defaults split keys: %s vs %s", a, b)
+	}
+}
+
+// Every semantically meaningful field must move the key.
+func TestFieldsSplitKeys(t *testing.T) {
+	base := mustKey(t, simQuery())
+	for name, mutate := range map[string]func(*Query){
+		"param":     func(q *Query) { q.Spec.Param = 5 },
+		"protocol":  func(q *Query) { q.Spec.Protocol = "power2" },
+		"x":         func(q *Query) { q.Simulate.X = 9 },
+		"seed":      func(q *Query) { q.Simulate.Seed = 8 },
+		"trials":    func(q *Query) { q.Simulate.Trials = 4 },
+		"max_steps": func(q *Query) { q.Simulate.MaxSteps = 100000 },
+		"patience":  func(q *Query) { q.Simulate.Patience = 999 },
+		"scheduler": func(q *Query) { q.Simulate.Scheduler = "countbatch" },
+	} {
+		q := simQuery()
+		mutate(q)
+		if k := mustKey(t, q); k == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	bad := []*Query{
+		{Kind: "explode"},
+		{Kind: KindSimulate, Spec: Spec{Protocol: "flock", Param: 4}},
+		{Kind: KindSimulate, Spec: Spec{Protocol: "flock", Param: 4}, Simulate: &SimulateParams{X: 2}, Verify: &VerifyParams{}},
+		{Kind: KindSimulate, Spec: Spec{Protocol: "nope", Param: 4}, Simulate: &SimulateParams{X: 2}},
+		{Kind: KindSimulate, Spec: Spec{Protocol: "flock", Param: 4}, Simulate: &SimulateParams{X: -1}},
+		{Kind: KindSimulate, Spec: Spec{Protocol: "flock", Param: 4}, Simulate: &SimulateParams{X: 2, Scheduler: "weighted", Batch: 9}},
+		{Kind: KindSimulate, Spec: Spec{Protocol: "flock", Param: 4}, Simulate: &SimulateParams{X: 2, Scheduler: "batched", Eps: 0.1}},
+		{Kind: KindVerify, Spec: Spec{Protocol: "majority", Param: 0}, Verify: &VerifyParams{}},
+		{Kind: KindVerify, Spec: Spec{Protocol: "flock", Param: 4}, Verify: &VerifyParams{Budget: -1}},
+		{Kind: KindBounds, Bounds: &BoundsParams{Op: "nope"}},
+		{Kind: KindBounds, Bounds: &BoundsParams{Op: "thm43", KMax: 5}},
+		{Kind: KindBounds, Spec: Spec{Protocol: "flock", Param: 4}, Bounds: &BoundsParams{Op: "thm43"}},
+	}
+	for i, q := range bad {
+		if _, err := Of(q); err == nil {
+			t.Errorf("query %d unexpectedly keyed: %+v", i, q)
+		}
+	}
+}
+
+// goldenEntry pins one query's derived key: the cache's on-disk
+// addresses must never move under a refactor, or every stored result
+// silently misses (cache split) — and a *colliding* change could serve
+// stale results for new semantics (cache poisoning). If this test
+// fails because the derivation changed on purpose, bump SchemaVersion
+// and regenerate with -update.
+type goldenEntry struct {
+	Name  string          `json:"name"`
+	Query json.RawMessage `json:"query"`
+	SHA   string          `json:"sha"`
+	CRC   string          `json:"crc"`
+}
+
+func TestKeyGolden(t *testing.T) {
+	queries := map[string]*Query{
+		"simulate-flock":     simQuery(),
+		"simulate-cb-power2": {Kind: KindSimulate, Spec: Spec{Protocol: "power2", Param: 10}, Simulate: &SimulateParams{X: 1024, Scheduler: "countbatch"}},
+		"verify-flock":       {Kind: KindVerify, Spec: Spec{Protocol: "flock", Param: 4}, Verify: &VerifyParams{MaxX: 9, Budget: 1 << 16}},
+		"bounds-section8":    {Kind: KindBounds, Bounds: &BoundsParams{Op: "section8", D: 4, T: 2, L: 2}},
+	}
+	golden := filepath.Join("testdata", "key.golden.json")
+	if *update {
+		var entries []goldenEntry
+		for _, name := range []string{"simulate-flock", "simulate-cb-power2", "verify-flock", "bounds-section8"} {
+			q := queries[name]
+			k := mustKey(t, q)
+			raw, err := json.Marshal(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entries = append(entries, goldenEntry{Name: name, Query: raw, SHA: k.SHA, CRC: k.CRC})
+		}
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	var entries []goldenEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(queries) {
+		t.Fatalf("golden pins %d queries, test builds %d — regenerate with -update", len(entries), len(queries))
+	}
+	for _, e := range entries {
+		q, ok := queries[e.Name]
+		if !ok {
+			t.Errorf("golden entry %q has no generating query", e.Name)
+			continue
+		}
+		k := mustKey(t, q)
+		if k.SHA != e.SHA || k.CRC != e.CRC {
+			t.Errorf("%s: key drifted:\n  got  %s / %s\n  want %s / %s\n"+
+				"a canonicalization change splits or poisons the cache; if intentional, bump key.SchemaVersion and -update",
+				e.Name, k.SHA, k.CRC, e.SHA, e.CRC)
+		}
+		// The golden also pins the *parsed* form: a query round-tripped
+		// through its stored JSON must key identically.
+		var rq Query
+		if err := json.Unmarshal(e.Query, &rq); err != nil {
+			t.Fatal(err)
+		}
+		if rk := mustKey(t, &rq); rk != k {
+			t.Errorf("%s: round-tripped query keys to %s, direct to %s", e.Name, rk, k)
+		}
+	}
+}
+
+// Normalization is idempotent: keying a query twice (the second time
+// over its normalized self) cannot move the key.
+func TestOfIdempotent(t *testing.T) {
+	q := simQuery()
+	k1 := mustKey(t, q)
+	k2 := mustKey(t, q)
+	if k1 != k2 {
+		t.Fatalf("re-keying a normalized query moved the key: %s vs %s", k1, k2)
+	}
+}

@@ -1,0 +1,289 @@
+// Package serve is the ppserve daemon: a long-lived HTTP/JSON front
+// end over the repo's simulation, verification, and bounds engines
+// with a persistent content-addressed result cache.
+//
+// Every request is reduced to a canonical query (internal/serve/key):
+// defaults are filled explicitly, parameters validated, and the
+// canonical bytes hashed, so any two requests that mean the same
+// computation share one cache key and one stored artifact — the
+// daemon's answer to a repeated query is a file read, not a
+// recomputation, across restarts. Results live in the
+// content-addressed store (internal/serve/store), published through
+// the faultfs fsync-temp→rename seam and checksum-verified on read;
+// a corrupt artifact is quarantined and recomputed, never served.
+// Concurrent identical queries collapse into one compute via the
+// store's singleflight.
+//
+// Each request walks the lifecycle state machine in sm.go —
+// admitted → planned → running → cached/failed — with every
+// transition checked against the allowed-transition table and the
+// job's invariant (a cached job holds its artifact, a failed job its
+// reason); the conformance test pins every legal path and every
+// illegal edge. Admission control is a token bucket denominated in
+// shard cost-model units: a query's estimated cost (trials × per-trial
+// cost, or the verify closure budget) must fit the bucket before any
+// engine work starts, so expensive bursts queue instead of
+// stampeding the samplers. /metrics exposes the cache hit rate,
+// per-phase latencies, admission balance, and store footprint.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/hostmeta"
+	"repro/internal/serve/key"
+	"repro/internal/serve/store"
+)
+
+// Config sizes one daemon.
+type Config struct {
+	// StoreDir roots the content-addressed result store.
+	StoreDir string
+	// Workers bounds each compute's worker pool (0 = GOMAXPROCS).
+	Workers int
+	// AdmitCapacity sizes the admission token bucket in shard
+	// cost-model units (0 = the default capacity).
+	AdmitCapacity int64
+	// JobWindow bounds the /v1/jobs record table (0 = 4096).
+	JobWindow int
+	// FS is the filesystem seam for the store (nil = the real OS);
+	// tests inject faults here.
+	FS faultfs.FS
+}
+
+// Server is one ppserve daemon instance.
+type Server struct {
+	store    *store.Store
+	admit    *admitter
+	metrics  metrics
+	jobs     *jobTable
+	identity hostmeta.Process
+	workers  int
+	started  time.Time
+}
+
+// New opens the store and assembles a daemon.
+func New(cfg Config) (*Server, error) {
+	st, err := store.Open(cfg.StoreDir, cfg.FS)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		store:    st,
+		admit:    newAdmitter(cfg.AdmitCapacity),
+		jobs:     newJobTable(cfg.JobWindow),
+		identity: hostmeta.CollectProcess(),
+		workers:  cfg.Workers,
+		started:  time.Now(),
+	}, nil
+}
+
+// Store exposes the result store (for the replay client and tests).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Handler builds the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		var req simulateRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		s.run(w, r, &key.Query{Kind: key.KindSimulate, Spec: req.Spec, Simulate: &req.SimulateParams})
+	})
+	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
+		var req verifyRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		s.run(w, r, &key.Query{Kind: key.KindVerify, Spec: req.Spec, Verify: &req.VerifyParams})
+	})
+	mux.HandleFunc("POST /v1/bounds", func(w http.ResponseWriter, r *http.Request) {
+		var req boundsRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		s.run(w, r, &key.Query{Kind: key.KindBounds, Bounds: &req.BoundsParams})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.jobs.get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such job (the record window may have evicted it)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.view())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.metrics.snapshot(s.store, s.admit, s.jobs, s.identity.Instance(), s.started))
+	})
+	return mux
+}
+
+// Per-endpoint request bodies: the protocol spec plus the endpoint's
+// parameter block inlined — exactly the fields the cache key hashes,
+// so a request body IS its key material. Unknown members are
+// rejected: a typoed parameter must not silently key as the default.
+type simulateRequest struct {
+	Spec key.Spec `json:"spec"`
+	key.SimulateParams
+}
+
+type verifyRequest struct {
+	Spec key.Spec `json:"spec"`
+	key.VerifyParams
+}
+
+type boundsRequest struct {
+	key.BoundsParams
+}
+
+// queryResponse is every query endpoint's response envelope.
+type queryResponse struct {
+	Job    string          `json:"job"`
+	Key    string          `json:"key"`
+	Cache  string          `json:"cache"`
+	Kind   string          `json:"kind"`
+	Result json.RawMessage `json:"result"`
+}
+
+// run drives one query through the full lifecycle:
+// admission (tokens) → plan (canonicalize + key) → store lookup /
+// singleflight compute → response. Every state change goes through
+// the job's SM; an illegal transition here is a bug, surfaced as a
+// 500 rather than papered over.
+func (s *Server) run(w http.ResponseWriter, r *http.Request, q *key.Query) {
+	s.metrics.requests.Add(1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	// Normalization must precede admission: the cost estimate reads
+	// the defaults-filled form. A malformed query is the client's
+	// fault and never consumes tokens.
+	if err := q.Normalize(); err != nil {
+		s.metrics.failures.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cost := queryCost(q)
+	tAdmit := time.Now()
+	if err := s.admit.acquire(r.Context(), cost); err != nil {
+		s.metrics.failures.Add(1)
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	defer s.admit.release(cost)
+	admitDur := time.Since(tAdmit)
+	s.metrics.observePhase(phaseAdmit, admitDur)
+
+	j, err := s.jobs.create(q.Kind, time.Now())
+	if err != nil {
+		s.metrics.failures.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	j.mu.Lock()
+	j.phases[phaseAdmit] = admitDur
+	j.mu.Unlock()
+
+	fail := func(status int, err error) {
+		s.metrics.failures.Add(1)
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		smErr := j.sm.To(StateFailed)
+		j.mu.Unlock()
+		if smErr != nil {
+			err = errors.Join(err, smErr)
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+	}
+
+	tPlan := time.Now()
+	k, err := key.Of(q)
+	if err != nil {
+		fail(http.StatusBadRequest, err)
+		return
+	}
+	j.mu.Lock()
+	j.key, j.hasKey = k, true
+	smErr := j.sm.To(StatePlanned)
+	j.phases[phasePlan] = time.Since(tPlan)
+	j.mu.Unlock()
+	if smErr != nil {
+		fail(http.StatusInternalServerError, smErr)
+		return
+	}
+	s.metrics.observePhase(phasePlan, j.phases[phasePlan])
+
+	tRun := time.Now()
+	art, hit, err := s.store.GetOrCompute(r.Context(), k, q.Kind, func(ctx context.Context) (json.RawMessage, error) {
+		// This closure runs only when this job leads a cache-miss
+		// compute; followers and disk hits stay in planned.
+		if err := j.to(StateRunning); err != nil {
+			return nil, err
+		}
+		return s.compute(ctx, q)
+	})
+	runDur := time.Since(tRun)
+	s.metrics.observePhase(phaseRun, runDur)
+	if err != nil {
+		fail(http.StatusInternalServerError, err)
+		return
+	}
+	j.mu.Lock()
+	j.phases[phaseRun] = runDur
+	j.artifact, j.hit = art, hit
+	smErr = j.sm.To(StateCached)
+	j.mu.Unlock()
+	if smErr != nil {
+		fail(http.StatusInternalServerError, smErr)
+		return
+	}
+
+	cache := "miss"
+	if hit {
+		cache = "hit"
+	}
+	w.Header().Set("X-Cache", cache)
+	writeJSON(w, http.StatusOK, queryResponse{
+		Job:    j.id,
+		Key:    k.String(),
+		Cache:  cache,
+		Kind:   q.Kind,
+		Result: art.Result,
+	})
+}
+
+// decodeBody strictly decodes a JSON request body; unknown members
+// are a 400 so a typo cannot silently become a default (and a
+// different cache key than the client intended). A rejected body
+// still counts as a request and a failure in /metrics.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.metrics.requests.Add(1)
+		s.metrics.failures.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,362 @@
+// Package store is ppserve's persistent, content-addressed result
+// store: one sealed JSON artifact per cache key, laid out
+// objects/<sha[:2]>/<sha>.json under the store root, so a repeated
+// query is an O(1) file lookup that survives daemon restarts.
+//
+// Durability and integrity follow the shard-queue conventions. Every
+// artifact is published fsync-temp → atomic rename → dir-sync through
+// the injectable faultfs seam, so readers never observe a torn
+// document and a host crash leaves either nothing or the complete
+// file. Every artifact carries an internal/canon content checksum
+// verified on each read; a corrupted artifact (torn write that beat
+// the rename discipline, bit rot, hand edit) is quarantined to
+// corrupt/ with a .reason file and reported as a miss — recomputed,
+// never served, never re-read in a loop. A key mismatch between file
+// name and sealed content is corruption too: a renamed artifact must
+// not answer someone else's query.
+//
+// Concurrent identical queries compute once: GetOrCompute runs a
+// per-key singleflight. The first caller becomes the leader (it
+// re-checks disk, then computes and publishes); every concurrent
+// caller for the same key blocks on the leader's flight and shares
+// its artifact or error. Errors are never persisted — a failed
+// compute leaves no artifact, so the next request retries.
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/canon"
+	"repro/internal/faultfs"
+	"repro/internal/hostmeta"
+	"repro/internal/serve/key"
+)
+
+// ArtifactSchema versions the stored artifact document.
+const ArtifactSchema = 1
+
+// Artifact is one sealed store entry: the query's result document
+// plus the provenance of the daemon incarnation that computed it.
+type Artifact struct {
+	Schema int    `json:"schema"`
+	Key    string `json:"key"`
+	Kind   string `json:"kind"`
+	// Server and Instance identify the computing daemon (hostmeta
+	// identity; telemetry, not protocol state).
+	Server   hostmeta.Meta   `json:"server"`
+	Instance string          `json:"instance"`
+	Result   json.RawMessage `json:"result"`
+	Checksum string          `json:"checksum"`
+}
+
+func (a *Artifact) setChecksum(s string) { a.Checksum = s }
+
+// compactResult normalizes the embedded result document to compact
+// JSON: sealing indents the whole artifact (re-indenting the raw
+// message), so without this a computed artifact and its re-read would
+// differ byte-wise in Result — same content, different whitespace.
+func (a *Artifact) compactResult() error {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, a.Result); err != nil {
+		return fmt.Errorf("store: result is not valid JSON: %w", err)
+	}
+	a.Result = json.RawMessage(buf.Bytes())
+	return nil
+}
+
+// seal marshals a with its content checksum stamped in, the repo-wide
+// sealed-document convention (indented, trailing newline).
+func seal(a *Artifact) ([]byte, error) {
+	a.setChecksum("")
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	sum, err := canon.Checksum(data, "checksum")
+	if err != nil {
+		return nil, err
+	}
+	a.setChecksum(sum)
+	data, err = json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Counters aggregates the store's cache-traffic telemetry; /metrics
+// exposes a snapshot. Hits + Dedups over total lookups is the cache
+// hit rate the serve-smoke drill asserts on.
+type Counters struct {
+	// Hits counts disk lookups answered by an existing artifact.
+	Hits int64 `json:"hits"`
+	// Dedups counts callers who shared a concurrent leader's compute
+	// instead of running their own (singleflight followers).
+	Dedups int64 `json:"dedups"`
+	// Misses counts leader computes actually run.
+	Misses int64 `json:"misses"`
+	// Quarantined counts corrupt artifacts moved to corrupt/.
+	Quarantined int64 `json:"quarantined"`
+}
+
+// flight is one in-progress compute; followers block on done.
+type flight struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+}
+
+// Store is the content-addressed artifact store. Safe for concurrent
+// use by any number of goroutines.
+type Store struct {
+	root     string
+	fsys     faultfs.FS
+	identity hostmeta.Process
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	hits        atomic.Int64
+	dedups      atomic.Int64
+	misses      atomic.Int64
+	quarantined atomic.Int64
+}
+
+// Open prepares a store rooted at dir (created if missing) over the
+// given filesystem seam; fsys nil means the real OS.
+func Open(dir string, fsys faultfs.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	s := &Store{
+		root:     dir,
+		fsys:     fsys,
+		identity: hostmeta.CollectProcess(),
+		flights:  map[string]*flight{},
+	}
+	if err := fsys.MkdirAll(s.objectsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+func (s *Store) objectsDir() string { return filepath.Join(s.root, "objects") }
+
+// ObjectPath is the artifact file of one key: two-hex fan-out
+// directories keep any one directory from ballooning.
+func (s *Store) ObjectPath(k key.Key) string {
+	return filepath.Join(s.objectsDir(), k.SHA[:2], k.SHA+".json")
+}
+
+// Get looks k up on disk. A missing artifact is (nil, nil): absence
+// is a normal cache state. A corrupt artifact is quarantined and
+// likewise reported as a miss — the caller recomputes; it is never
+// served.
+func (s *Store) Get(k key.Key) (*Artifact, error) {
+	path := s.ObjectPath(k)
+	data, err := s.fsys.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	art, reason := decode(data, k)
+	if art == nil {
+		s.quarantine(path, reason)
+		return nil, nil
+	}
+	return art, nil
+}
+
+// decode parses and integrity-checks one artifact document; a nil
+// artifact comes back with the quarantine reason.
+func decode(data []byte, k key.Key) (*Artifact, string) {
+	sum, err := canon.Checksum(data, "checksum")
+	if err != nil {
+		return nil, fmt.Sprintf("unparseable JSON: %v", err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Sprintf("not an artifact document: %v", err)
+	}
+	if a.Checksum == "" {
+		return nil, "no content checksum"
+	}
+	if a.Checksum != sum {
+		return nil, fmt.Sprintf("checksum %s, content is %s (torn write or bit rot)", a.Checksum, sum)
+	}
+	if a.Schema != ArtifactSchema {
+		return nil, fmt.Sprintf("artifact schema %d, this build understands %d", a.Schema, ArtifactSchema)
+	}
+	if a.Key != k.String() {
+		return nil, fmt.Sprintf("sealed key %s under address %s (misfiled artifact)", a.Key, k)
+	}
+	if err := a.compactResult(); err != nil {
+		return nil, err.Error()
+	}
+	return &a, ""
+}
+
+// quarantine moves a corrupt artifact to <root>/corrupt/ with a
+// .reason sibling, removing it from the cache namespace so it is
+// recomputed instead of served and never re-read in a loop. Name
+// collisions across repeated corruption get a numeric suffix.
+func (s *Store) quarantine(path, reason string) {
+	qdir := filepath.Join(s.root, "corrupt")
+	if err := s.fsys.MkdirAll(qdir, 0o755); err != nil {
+		log.Printf("store: quarantine mkdir: %v", err)
+		return
+	}
+	base := filepath.Base(path)
+	dst := filepath.Join(qdir, base)
+	for i := 2; ; i++ {
+		if _, err := s.fsys.Stat(dst); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := s.fsys.Rename(path, dst); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		log.Printf("store: quarantine %s: %v", base, err)
+		return
+	}
+	// The reason file is evidence, not protocol state: best effort.
+	_ = s.fsys.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
+	s.quarantined.Add(1)
+	log.Printf("store: quarantined %s: %s", dst, reason)
+}
+
+// put seals and publishes one artifact durably (fsync-temp → rename →
+// dir-sync through the seam).
+func (s *Store) put(k key.Key, a *Artifact) error {
+	path := s.ObjectPath(k)
+	if err := s.fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", k, err)
+	}
+	data, err := seal(a)
+	if err != nil {
+		return err
+	}
+	if err := faultfs.AtomicWrite(s.fsys, path, data); err != nil {
+		return fmt.Errorf("store: put %s: %w", k, err)
+	}
+	return nil
+}
+
+// GetOrCompute returns k's artifact, computing and persisting it
+// exactly once per key across any number of concurrent callers: a
+// disk hit is served as-is; otherwise the first caller computes while
+// concurrent callers for the same key wait and share the outcome.
+// hit reports whether this caller avoided a compute (disk hit or
+// shared flight). A compute error is returned to every waiting
+// caller and nothing is persisted; ctx cancels this caller's wait
+// (the leader's compute sees the leader's ctx).
+func (s *Store) GetOrCompute(ctx context.Context, k key.Key, kind string, compute func(context.Context) (json.RawMessage, error)) (art *Artifact, hit bool, err error) {
+	s.mu.Lock()
+	if f, ok := s.flights[k.SHA]; ok {
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		s.dedups.Add(1)
+		return f.art, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[k.SHA] = f
+	s.mu.Unlock()
+
+	defer func() {
+		f.art, f.err = art, err
+		s.mu.Lock()
+		delete(s.flights, k.SHA)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+
+	// Leader: the disk check happens *inside* the flight, so a caller
+	// racing past a concurrent leader's completion re-reads the disk
+	// instead of recomputing.
+	if art, err = s.Get(k); err != nil {
+		return nil, false, err
+	}
+	if art != nil {
+		s.hits.Add(1)
+		return art, true, nil
+	}
+	s.misses.Add(1)
+	result, cerr := compute(ctx)
+	if cerr != nil {
+		return nil, false, cerr
+	}
+	art = &Artifact{
+		Schema:   ArtifactSchema,
+		Key:      k.String(),
+		Kind:     kind,
+		Server:   s.identity.Meta,
+		Instance: s.identity.Instance(),
+		Result:   result,
+	}
+	if err = art.compactResult(); err != nil {
+		return nil, false, err
+	}
+	if err = s.put(k, art); err != nil {
+		return nil, false, err
+	}
+	return art, false, nil
+}
+
+// Counters snapshots the cache-traffic telemetry.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Hits:        s.hits.Load(),
+		Dedups:      s.dedups.Load(),
+		Misses:      s.misses.Load(),
+		Quarantined: s.quarantined.Load(),
+	}
+}
+
+// Stats describes the on-disk footprint for /metrics.
+type Stats struct {
+	Objects int   `json:"objects"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Size walks the objects tree. It reads the real filesystem directly
+// (observability, not protocol state — the faultfs seam carries no
+// directory listing).
+func (s *Store) Size() (Stats, error) {
+	var st Stats
+	err := filepath.WalkDir(s.objectsDir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		st.Objects++
+		st.Bytes += info.Size()
+		return nil
+	})
+	if errors.Is(err, fs.ErrNotExist) {
+		err = nil
+	}
+	return st, err
+}
+
+// Root returns the store directory (for logs and /metrics).
+func (s *Store) Root() string { return s.root }

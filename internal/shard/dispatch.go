@@ -523,7 +523,7 @@ func (d *dispatcher) heartbeat(ctx context.Context, stop <-chan struct{}, shardI
 			// Best effort: a failed beat only freezes Seq, aging the
 			// lease toward stealability — the intended failure mode.
 			if data, err := sealJSON(&lease); err == nil {
-				_ = atomicWriteFS(d.env.fsys, path, data)
+				_ = faultfs.AtomicWrite(d.env.fsys, path, data)
 			}
 		}
 	}
@@ -570,7 +570,7 @@ func (d *dispatcher) linkNew(ctx context.Context, path string, lease *Lease) (cr
 	if err != nil {
 		return false, err
 	}
-	tmp := tmpName(path)
+	tmp := faultfs.TmpName(path)
 	defer d.env.fsys.Remove(tmp)
 	err = d.env.retry(ctx, "acquire lease", func() error {
 		if werr := d.env.fsys.WriteFileSync(tmp, data, 0o644); werr != nil {

@@ -4,10 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"log"
 	"sync"
 
+	"repro/internal/canon"
 	"repro/internal/faultfs"
 )
 
@@ -29,24 +29,15 @@ import (
 // .reason file) and recomputes, never merges it and never re-reads it
 // forever.
 
-var crcCastagnoli = crc32.MakeTable(crc32.Castagnoli)
-
 // ChecksumOf computes the canonical content checksum of one artifact
 // document: parse with exact numbers, drop the top-level "checksum"
-// member, re-marshal compact with sorted keys, CRC-32C.
+// member, re-marshal compact with sorted keys, CRC-32C. The machinery
+// is the shared internal/canon implementation, which the serve result
+// store and cache keys also build on; shard keeps this named wrapper
+// because the queue-document convention (which member is dropped) is
+// part of its artifact schema.
 func ChecksumOf(doc []byte) (string, error) {
-	dec := json.NewDecoder(bytes.NewReader(doc))
-	dec.UseNumber()
-	var m map[string]any
-	if err := dec.Decode(&m); err != nil {
-		return "", fmt.Errorf("shard: checksum of unparseable document: %w", err)
-	}
-	delete(m, "checksum")
-	canon, err := json.Marshal(m)
-	if err != nil {
-		return "", err
-	}
-	return fmt.Sprintf("crc32c:%08x", crc32.Checksum(canon, crcCastagnoli)), nil
+	return canon.Checksum(doc, "checksum")
 }
 
 // sealable is implemented by every persisted document type carrying a
@@ -201,5 +192,5 @@ func WriteArtifact(path string, a *Artifact) error {
 	if err != nil {
 		return err
 	}
-	return atomicWriteFS(faultfs.OS(), path, data)
+	return faultfs.AtomicWrite(faultfs.OS(), path, data)
 }

@@ -49,7 +49,7 @@ func cellFileName(c Cell) string {
 // rename: a host crash after WriteFileAtomic returns cannot surface
 // an empty or torn document on ext4/NFS.
 func WriteFileAtomic(path string, data []byte) error {
-	return atomicWriteFS(faultfs.OS(), path, data)
+	return faultfs.AtomicWrite(faultfs.OS(), path, data)
 }
 
 // writeJSONAtomic marshals v (indented, trailing newline, the

@@ -8,9 +8,7 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
-	"os"
 	"path/filepath"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/faultfs"
@@ -120,32 +118,6 @@ func (e *queueEnv) retry(ctx context.Context, op string, f func() error) error {
 	}
 }
 
-// tmpCounter makes temp names unique within the process; the PID
-// component keeps concurrent processes on one queue directory apart.
-var tmpCounter atomic.Uint64
-
-func tmpName(path string) string {
-	return fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpCounter.Add(1))
-}
-
-// atomicWriteFS writes data to path durably: unique temp file in the
-// same directory, fsynced, atomic rename, directory fsynced. Readers
-// never observe a torn document, and a host crash after the rename
-// cannot surface an empty or partial file the way rename-without-sync
-// can on ext4/NFS.
-func atomicWriteFS(fsys faultfs.FS, path string, data []byte) error {
-	tmp := tmpName(path)
-	if err := fsys.WriteFileSync(tmp, data, 0o644); err != nil {
-		fsys.Remove(tmp)
-		return err
-	}
-	if err := fsys.Rename(tmp, path); err != nil {
-		fsys.Remove(tmp)
-		return err
-	}
-	return fsys.SyncDir(filepath.Dir(path))
-}
-
 // writeSealedRetry seals v and publishes it atomically, retrying
 // transient failures of each step as one unit (a retried rename whose
 // first attempt actually succeeded is idempotent: same temp content,
@@ -156,7 +128,7 @@ func (e *queueEnv) writeSealedRetry(ctx context.Context, path string, v sealable
 		return err
 	}
 	return e.retry(ctx, "write "+filepath.Base(path), func() error {
-		return atomicWriteFS(e.fsys, path, data)
+		return faultfs.AtomicWrite(e.fsys, path, data)
 	})
 }
 
