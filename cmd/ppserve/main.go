@@ -1,21 +1,31 @@
-// Command ppserve runs the protocol-query daemon and its replay
-// client.
+// Command ppserve runs the protocol-query daemon, its replay client,
+// and the store garbage collector.
 //
 // Usage:
 //
-//	ppserve serve -addr 127.0.0.1:8372 -store ppserve-store
+//	ppserve serve -addr 127.0.0.1:8372 -store ppserve-store \
+//	        [-deadline 30s] [-store-max-mb 512] [-chaos-seed N -chaos-faults M]
 //	ppserve replay -addr http://127.0.0.1:8372 -file queries.jsonl \
 //	        -passes 2 -min-hit-rate 0.9
+//	ppserve gc -store ppserve-store [-quarantine-ttl 168h]
 //
 // serve starts the long-lived daemon: POST /v1/simulate, /v1/verify
 // and /v1/bounds evaluate queries with a persistent content-addressed
 // result cache under -store (a repeated query — in any equivalent
 // spelling — is a file read, across restarts); GET /v1/jobs/{id}
-// inspects a request's lifecycle record and GET /metrics reports the
-// cache hit rate, per-phase latencies, admission balance and store
-// footprint. -addr may end in :0 to pick a free port; -addr-file
-// writes the actual listening address for scripts to read. SIGINT
-// shuts the daemon down gracefully.
+// inspects a request's lifecycle record, GET /v1/keys pages the store
+// inventory, GET /metrics reports the cache hit rate, per-phase
+// latencies, admission balance and store footprint, and GET /healthz
+// and /readyz are the liveness and readiness probes (/readyz goes 503
+// while the store is degraded to compute-only mode). Every request
+// runs under a compute deadline — -deadline, or a per-query default
+// priced from its admission cost — and times out as 503 with a
+// Retry-After hint. -store-max-mb bounds the store with LRU eviction.
+// -addr may end in :0 to pick a free port; -addr-file writes the
+// actual listening address for scripts to read. SIGINT shuts the
+// daemon down gracefully. -chaos-seed/-chaos-faults inject a seeded
+// fault schedule under the store for chaos drills: the daemon must
+// keep answering correctly (recomputing or degrading as needed).
 //
 // replay streams a JSONL query file (one {"path": ..., "body": {...}}
 // object per line; blank and #-comment lines skipped) at a running
@@ -24,6 +34,17 @@
 // non-zero when the final pass's rate falls below the floor — the CI
 // serve-smoke drill replays a mixed query file twice and requires
 // ≥0.9 on the warm pass.
+//
+// gc runs an offline collection pass over a store directory: every
+// artifact is checksum-verified (corrupt ones quarantined), stray
+// publish temp files are swept, quarantine entries older than
+// -quarantine-ttl are dropped, and the access journal is compacted.
+// Run it offline — never against a live daemon's store.
+//
+// Exit codes: 0 = success, including a gc pass that found and
+// repaired recoverable damage (corruption quarantined, strays swept);
+// 1 = hard error — bad flags, bind failure, replay below the hit-rate
+// floor, unreadable store.
 package main
 
 import (
@@ -42,7 +63,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/serve"
+	"repro/internal/serve/store"
 )
 
 func main() {
@@ -63,6 +86,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return runServe(ctx, args[1:], out)
 	case "replay":
 		return runReplay(ctx, args[1:], out)
+	case "gc":
+		return runGC(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -76,18 +101,40 @@ func runServe(ctx context.Context, args []string, out io.Writer) error {
 	admit := fs.Int64("admit", 0, "admission bucket capacity in cost units (0 = default)")
 	jobWindow := fs.Int("job-window", 0, "jobs kept for /v1/jobs (0 = default)")
 	addrFile := fs.String("addr-file", "", "write the actual listening address to this file")
+	deadline := fs.Duration("deadline", 0, "per-request compute deadline (0 = priced per query from its admission cost)")
+	storeMaxMB := fs.Int64("store-max-mb", 0, "store footprint bound in MiB, enforced by LRU eviction (0 = unbounded)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the injected fault schedule (with -chaos-faults)")
+	chaosFaults := fs.Int("chaos-faults", 0, "inject this many seeded faults under the store (0 = none; chaos drills only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var storeFS faultfs.FS
+	var faulty *faultfs.Faulty
+	if *chaosFaults > 0 {
+		schedule := faultfs.RandomSchedule(*chaosSeed, *chaosFaults)
+		faulty = faultfs.NewFaulty(faultfs.OS(), schedule)
+		storeFS = faulty
+		fmt.Fprintf(out, "ppserve: CHAOS MODE: %d faults from seed %d under the store\n", len(schedule), *chaosSeed)
 	}
 	s, err := serve.New(serve.Config{
 		StoreDir:      *storeDir,
 		Workers:       *workers,
 		AdmitCapacity: *admit,
 		JobWindow:     *jobWindow,
+		Deadline:      *deadline,
+		StoreMaxBytes: *storeMaxMB << 20,
+		FS:            storeFS,
 	})
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if faulty != nil {
+			for _, f := range faulty.Fired() {
+				fmt.Fprintf(out, "ppserve: chaos fired: %s\n", f)
+			}
+		}
+	}()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -118,6 +165,25 @@ func runServe(ctx context.Context, args []string, out io.Writer) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	return nil
+}
+
+// runGC runs one offline store collection pass and prints the report.
+// Recoverable damage it repaired is still exit 0: the store is
+// healthy afterwards, which is what a cron invocation cares about.
+func runGC(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppserve gc", flag.ContinueOnError)
+	storeDir := fs.String("store", "ppserve-store", "result store directory")
+	ttl := fs.Duration("quarantine-ttl", 7*24*time.Hour, "drop quarantined files older than this (0 = keep forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := store.GC(*storeDir, store.GCOptions{QuarantineTTL: *ttl})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "gc %s: %d objects (%d bytes) verified=%d quarantined=%d dropped_tmp=%d dropped_quarantine=%d journal_lines=%d\n",
+		*storeDir, rep.Objects, rep.Bytes, rep.Verified, rep.Quarantined, rep.DroppedTmp, rep.DroppedQuarantine, rep.JournalLines)
 	return nil
 }
 

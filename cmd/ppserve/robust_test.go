@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestHelperProcessServe is not a test: it is the child body for the
+// crash-recovery drill, re-executed from this test binary with the
+// guard variable set. It runs the real serve subcommand until killed.
+func TestHelperProcessServe(t *testing.T) {
+	if os.Getenv("PPSERVE_HELPER") != "1" {
+		return
+	}
+	err := run(context.Background(), []string{
+		"serve", "-addr", "127.0.0.1:0",
+		"-store", os.Getenv("PPSERVE_HELPER_STORE"),
+		"-workers", "2",
+		"-addr-file", os.Getenv("PPSERVE_HELPER_ADDRFILE"),
+	}, io.Discard)
+	if err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// postQuery posts one query at a live daemon and returns the response
+// status, X-Cache header and envelope.
+func postQuery(t *testing.T, base, path, body string) (int, string, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("POST %s: non-JSON response: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), doc
+}
+
+// The crash-recovery drill: a real daemon process is SIGKILLed with a
+// compute in flight — no shutdown path runs, publish temps and a torn
+// journal tail may be left behind — and a fresh daemon over the same
+// store must come up ready and serve the pre-crash results warm,
+// byte-identical.
+func TestCrashRecoveryWarmReplay(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	addrFile := filepath.Join(dir, "addr.txt")
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperProcessServe$")
+	cmd.Env = append(os.Environ(),
+		"PPSERVE_HELPER=1",
+		"PPSERVE_HELPER_STORE="+storeDir,
+		"PPSERVE_HELPER_ADDRFILE="+addrFile,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never published its address")
+		}
+		if data, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(data))
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	// Seed the store and record the sealed answers.
+	queries := []struct{ path, body string }{
+		{"/v1/bounds", `{"op":"rackoff"}`},
+		{"/v1/simulate", `{"spec":{"protocol":"flock","param":3},"x":5,"trials":2,"max_steps":30000,"seed":7}`},
+	}
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		code, _, doc := postQuery(t, base, q.path, q.body)
+		if code != http.StatusOK {
+			t.Fatalf("seeding %s: %d", q.path, code)
+		}
+		want[i] = doc["result"]
+	}
+
+	// Put a compute in flight, then SIGKILL mid-stride: the helper gets
+	// no chance to flush, close, or clean anything up.
+	go func() {
+		resp, err := http.Post(base+"/v1/verify", "application/json",
+			strings.NewReader(`{"spec":{"protocol":"flock","param":2},"max_x":6,"budget":1000000}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait() // "signal: killed" is the point
+
+	// A fresh daemon over the same battered store directory.
+	s, err := serve.New(serve.Config{StoreDir: storeDir, Workers: 2})
+	if err != nil {
+		t.Fatalf("restart over the crashed store: %v", err)
+	}
+	h := s.Handler()
+	rec := newGetRecorder(h, "/readyz")
+	if rec.code != http.StatusOK {
+		t.Fatalf("/readyz after crash recovery: %d %s", rec.code, rec.body.String())
+	}
+	for i, q := range queries {
+		req, _ := http.NewRequest("POST", q.path, strings.NewReader(q.body))
+		rw := &recorder{header: http.Header{}}
+		h.ServeHTTP(rw, req)
+		var doc map[string]json.RawMessage
+		if err := json.Unmarshal(rw.body.Bytes(), &doc); err != nil {
+			t.Fatalf("replay %s: non-JSON: %s", q.path, rw.body.String())
+		}
+		if rw.code != http.StatusOK {
+			t.Fatalf("replay %s: %d %s", q.path, rw.code, rw.body.String())
+		}
+		if rw.header.Get("X-Cache") != "hit" {
+			t.Errorf("replay %s recomputed instead of hitting the surviving store", q.path)
+		}
+		if !bytes.Equal(doc["result"], want[i]) {
+			t.Errorf("replay %s differs from the pre-crash answer:\n got %s\nwant %s", q.path, doc["result"], want[i])
+		}
+	}
+}
+
+// recorder is a minimal ResponseWriter for driving a Handler without
+// importing httptest's server machinery twice over.
+type recorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+func (r *recorder) WriteHeader(code int) { r.code = code }
+
+func newGetRecorder(h http.Handler, path string) *recorder {
+	rw := &recorder{header: http.Header{}}
+	req, _ := http.NewRequest("GET", path, nil)
+	h.ServeHTTP(rw, req)
+	return rw
+}
+
+// The gc subcommand exits zero on recoverable damage — a cron
+// invocation cares that the store is healthy afterwards, not that it
+// was pristine before — and its report names what it repaired.
+func TestGCSubcommandRecoverableDamageExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	sha := strings.Repeat("ab", 32)
+	fan := filepath.Join(dir, "objects", sha[:2])
+	if err := os.MkdirAll(fan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt artifact and a stray publish temp: both recoverable.
+	if err := os.WriteFile(filepath.Join(fan, sha+".json"), []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(fan, sha+".json.tmp.999.1"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"gc", "-store", dir}, &sb); err != nil {
+		t.Fatalf("recoverable damage made gc exit non-zero: %v", err)
+	}
+	out := sb.String()
+	for _, wantPart := range []string{"quarantined=1", "dropped_tmp=1", "0 objects"} {
+		if !strings.Contains(out, wantPart) {
+			t.Errorf("gc report missing %q:\n%s", wantPart, out)
+		}
+	}
+	// An unusable store path — a plain file where the directory should
+	// be — is a hard error, not a silent zero.
+	bogus := filepath.Join(dir, "flatfile")
+	if err := os.WriteFile(bogus, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"gc", "-store", bogus}, &strings.Builder{}); err == nil {
+		t.Error("gc over an unusable store path exited zero")
+	}
+}
+
+// The chaos flags arm a seeded fault schedule under a real daemon and
+// announce it — the CI chaos leg greps for this banner.
+func TestServeChaosFlagsAnnounce(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr.txt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sb strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"serve", "-addr", "127.0.0.1:0", "-store", filepath.Join(dir, "store"),
+			"-workers", "2", "-addr-file", addrFile,
+			"-chaos-seed", "7", "-chaos-faults", "4",
+		}, &sb)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(addrFile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chaos daemon never came up:\n%s", sb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("chaos daemon exit: %v\n%s", err, sb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("chaos daemon did not shut down")
+	}
+	if !strings.Contains(sb.String(), "CHAOS MODE: 4 faults from seed 7") {
+		t.Errorf("no chaos banner:\n%s", sb.String())
+	}
+}

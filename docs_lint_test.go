@@ -32,12 +32,15 @@ func TestPackageDocsStateInvariants(t *testing.T) {
 		"internal/verify": {"exact", "enumeration order", "budget"},
 		// The shared canonical-JSON/checksum convention (PR 8).
 		"internal/canon": {"canonical", "CRC-32C", "sorted keys", "checksum", "json.Number"},
-		// The daemon's caching, lifecycle, and admission contracts (PR 8).
-		"internal/serve": {"canonical", "content-addressed", "singleflight", "token bucket", "quarantined"},
+		// The daemon's caching, lifecycle, and admission contracts (PR 8),
+		// plus the self-healing serve path (PR 9): deadlines, the per-key
+		// circuit breaker, and degraded-mode readiness.
+		"internal/serve": {"canonical", "content-addressed", "singleflight", "token bucket", "quarantined", "deadline", "timed_out", "circuit breaker", "Retry-After", "compute-only"},
 		// Key stability is the cache-correctness contract (PR 8).
 		"internal/serve/key": {"canonical", "SchemaVersion", "golden", "SHA-256"},
-		// Store durability and exactly-once compute (PR 8).
-		"internal/serve/store": {"singleflight", "quarantined", "rename", "checksum", "fsync"},
+		// Store durability and exactly-once compute (PR 8), plus
+		// degradation, the access journal, and the LRU bound (PR 9).
+		"internal/serve/store": {"singleflight", "quarantined", "rename", "checksum", "fsync", "degraded", "compute-only", "journal", "LRU", "O(1)"},
 	}
 	for dir, wants := range requirements {
 		doc := packageDoc(t, dir)

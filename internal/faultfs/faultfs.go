@@ -43,6 +43,11 @@ type FS interface {
 	// WriteFileSync is WriteFile plus an fsync of the file before it
 	// returns, for artifacts that must survive a host crash.
 	WriteFileSync(name string, data []byte, perm fs.FileMode) error
+	// Append appends data to name (created if missing), buffered, no
+	// fsync — for append-only logs whose tail a crash may truncate
+	// (access journals, telemetry). Fault matching counts it in the
+	// write class.
+	Append(name string, data []byte, perm fs.FileMode) error
 	Rename(oldname, newname string) error
 	Link(oldname, newname string) error
 	Remove(name string) error
@@ -76,6 +81,18 @@ func (osFS) WriteFileSync(name string, data []byte, perm fs.FileMode) error {
 		return err
 	}
 	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (osFS) Append(name string, data []byte, perm fs.FileMode) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		return err
 	}

@@ -190,6 +190,30 @@ func (f *Faulty) WriteFileSync(name string, data []byte, perm fs.FileMode) error
 	return f.writeFile(name, data, perm, true)
 }
 
+// Append counts in the write class, so write faults — including torn
+// writes, which append only a prefix — fire on journal appends too.
+func (f *Faulty) Append(name string, data []byte, perm fs.FileMode) error {
+	if ft := f.next(OpWrite, name); ft != nil {
+		if ft.Tear {
+			n := ft.TearAt
+			if n > len(data) {
+				n = len(data)
+			}
+			if err := f.inner.Append(name, data[:n], perm); err != nil {
+				return err
+			}
+			if ft.Err != nil {
+				return &fs.PathError{Op: "append", Path: name, Err: ft.Err}
+			}
+			return nil
+		}
+		if ft.Err != nil {
+			return &fs.PathError{Op: "append", Path: name, Err: ft.Err}
+		}
+	}
+	return f.inner.Append(name, data, perm)
+}
+
 func (f *Faulty) Rename(oldname, newname string) error {
 	if ft := f.next(OpRename, oldname); ft != nil && ft.Err != nil {
 		return &os.LinkError{Op: "rename", Old: oldname, New: newname, Err: ft.Err}

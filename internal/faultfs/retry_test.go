@@ -1,0 +1,141 @@
+package faultfs
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Three transient failures under a five-attempt budget: the caller
+// sees success, the counter sees three absorbed errors.
+func TestRetrierAbsorbsTransient(t *testing.T) {
+	var count atomic.Int64
+	r := &Retrier{Attempts: 5, Base: time.Millisecond, Count: &count}
+	calls := 0
+	err := r.Do(context.Background(), "op", func() error {
+		calls++
+		if calls <= 3 {
+			return syscall.EIO
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("recoverable op failed: %v", err)
+	}
+	if calls != 4 || count.Load() != 3 {
+		t.Fatalf("calls=%d absorbed=%d, want 4 and 3", calls, count.Load())
+	}
+}
+
+// Permanent errors return immediately: retrying ENOSPC only delays
+// the real recovery.
+func TestRetrierPermanentImmediate(t *testing.T) {
+	r := &Retrier{Attempts: 5, Base: time.Millisecond}
+	calls := 0
+	err := r.Do(context.Background(), "op", func() error {
+		calls++
+		return syscall.ENOSPC
+	})
+	if !errors.Is(err, syscall.ENOSPC) || errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("err = %v, want bare ENOSPC", err)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+}
+
+// An exhausted budget wraps ErrRetryExhausted around the last error,
+// so callers can branch on "the disk is sick" vs the errno.
+func TestRetrierExhaustion(t *testing.T) {
+	r := &Retrier{Attempts: 3, Base: time.Millisecond}
+	calls := 0
+	err := r.Do(context.Background(), "op", func() error {
+		calls++
+		return syscall.ESTALE
+	})
+	if !errors.Is(err, ErrRetryExhausted) || !errors.Is(err, syscall.ESTALE) {
+		t.Fatalf("err = %v, want ErrRetryExhausted wrapping ESTALE", err)
+	}
+	if calls != 3 {
+		t.Fatalf("budget of 3 ran %d attempts", calls)
+	}
+}
+
+// Cancellation interrupts the backoff sleep, not just the next call.
+func TestRetrierContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Retrier{Attempts: 1000, Base: time.Hour}
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Do(ctx, "op", func() error { return syscall.EIO })
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled retry still sleeping")
+	}
+}
+
+// The same seed replays the same jitter stream — a failing chaos
+// schedule must be a bug report, not a flake.
+func TestRetrierSeedDeterminism(t *testing.T) {
+	draw := func(seed uint64) []time.Duration {
+		r := &Retrier{Seed: seed}
+		var ds []time.Duration
+		for i := 0; i < 8; i++ {
+			ds = append(ds, r.jitter(100*time.Millisecond))
+		}
+		return ds
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Append through the OS seam accumulates; a torn append through the
+// fault injector loses the suffix but keeps the prefix — the
+// crash-truncated-journal shape.
+func TestAppendAndTornAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	osfs := OS()
+	if err := osfs.Append(path, []byte("one\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := osfs.Append(path, []byte("two\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "one\ntwo\n" {
+		t.Fatalf("append accumulated %q err=%v", got, err)
+	}
+
+	faulty := NewFaulty(osfs, []Fault{
+		{Op: OpWrite, Nth: 1, Tear: true, TearAt: 2},
+		{Op: OpWrite, Nth: 2, Err: syscall.EIO},
+	})
+	if err := faulty.Append(path, []byte("three\n"), 0o644); err != nil {
+		t.Fatalf("silent tear reported failure: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "one\ntwo\nth" {
+		t.Fatalf("torn append left %q, want prefix through byte 2", got)
+	}
+	err = faulty.Append(path, []byte("four\n"), 0o644)
+	var perr *fs.PathError
+	if !errors.As(err, &perr) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("faulted append err = %v, want EIO PathError", err)
+	}
+}

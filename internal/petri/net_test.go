@@ -3,6 +3,7 @@ package petri
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/conf"
 )
@@ -203,5 +204,45 @@ func TestAdjacencyLists(t *testing.T) {
 	// a -> b -> c linearly.
 	if len(adj[0]) != 1 || len(adj[adj[0][0]]) != 1 {
 		t.Errorf("unexpected adjacency %v", adj)
+	}
+}
+
+func TestReachCancel(t *testing.T) {
+	// Unbounded net again; without the budget the walk never ends, so
+	// only cancellation can stop it.
+	n, err := New(tSpace, []Transition{
+		mk(t, "pump", map[string]int64{"a": 1}, map[string]int64{"a": 1, "b": 1}),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	from := conf.MustUnit(tSpace, "a")
+
+	// A pre-closed channel aborts at the first level boundary.
+	closed := make(chan struct{})
+	close(closed)
+	rs, err := n.Reach(from, Budget{MaxConfigs: 1 << 20, Cancel: closed})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if rs == nil || rs.Complete {
+		t.Fatalf("cancelled closure marked complete: %+v", rs)
+	}
+
+	// Cancelling mid-walk stops it promptly even with a huge budget.
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := n.Reach(from, Budget{MaxConfigs: 1 << 30, Cancel: cancel})
+		done <- err
+	}()
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCancelled) && !errors.Is(err, ErrBudget) {
+			t.Fatalf("err = %v, want ErrCancelled (or ErrBudget if it raced)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled exploration still running")
 	}
 }

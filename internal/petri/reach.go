@@ -2,6 +2,7 @@ package petri
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -48,6 +49,27 @@ type Budget struct {
 	// faultfs.Faulty here to exercise the degraded paths (disk full,
 	// torn buckets) without a real broken disk.
 	SpillFS faultfs.FS
+	// Cancel, when non-nil, aborts the exploration once the channel is
+	// closed (typically a serving request's ctx.Done()): Reach stops at
+	// the next cancellation checkpoint and returns the partial closure
+	// with Complete=false and an error wrapping ErrCancelled, so a
+	// timed-out or disconnected caller frees its workers promptly
+	// instead of finishing a closure nobody will read. Cancellation
+	// never corrupts the partial set — it is exactly a truncation.
+	Cancel <-chan struct{}
+}
+
+// cancelled polls the Cancel channel without blocking.
+func (b Budget) cancelled() bool {
+	if b.Cancel == nil {
+		return false
+	}
+	select {
+	case <-b.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // EffectiveWorkers resolves the Workers field: 0 auto-detects
@@ -175,6 +197,11 @@ func (n *Net) Reach(from conf.Config, budget Budget) (rs *ReachSet, err error) {
 	// The BFS queue is the node id sequence itself; depths are
 	// monotone, so each level is a contiguous id range.
 	for level := 0; level < rs.set.Len(); {
+		if budget.cancelled() {
+			rs.Complete = false
+			rs.finalizeEdges()
+			return rs, errCancelled("reach", rs.set.Len())
+		}
 		depth := rs.depth[level]
 		if budget.MaxDepth > 0 && int(depth) >= budget.MaxDepth {
 			// Unexpanded frontier: the closure may be missing deeper
@@ -197,6 +224,14 @@ func (n *Net) Reach(from conf.Config, budget Budget) (rs *ReachSet, err error) {
 		} else {
 			ok = true
 			for head := level; head < levelEnd && ok; head++ {
+				// Wide sequential levels re-check cancellation every
+				// 1024 nodes so a deadline lands mid-level, not only
+				// at level boundaries.
+				if head&1023 == 1023 && budget.cancelled() {
+					rs.Complete = false
+					rs.finalizeEdges()
+					return rs, errCancelled("reach", rs.set.Len())
+				}
 				ok = e.expandNode(head)
 			}
 		}
@@ -410,6 +445,15 @@ func sumCounts(c []int64) int64 {
 
 func errBudget(op string, visited int) error {
 	return &BudgetError{Op: op, Visited: visited}
+}
+
+// ErrCancelled is reported (wrapped) when an exploration is aborted by
+// Budget.Cancel. It is a truncation, not a failure of the net: the
+// caller asked the search to stop.
+var ErrCancelled = errors.New("petri: exploration cancelled")
+
+func errCancelled(op string, visited int) error {
+	return fmt.Errorf("petri: %s cancelled after %d configurations: %w", op, visited, ErrCancelled)
 }
 
 // BudgetError reports a truncated exploration. It wraps ErrBudget.

@@ -25,7 +25,7 @@ func (s *Server) compute(ctx context.Context, q *key.Query) (json.RawMessage, er
 	case key.KindSimulate:
 		return s.computeSimulate(ctx, q)
 	case key.KindVerify:
-		return s.computeVerify(q)
+		return s.computeVerify(ctx, q)
 	case key.KindBounds:
 		return computeBounds(q.Bounds)
 	default:
@@ -103,7 +103,7 @@ type VerifyResult struct {
 	MaxConfigs int    `json:"max_configs"`
 }
 
-func (s *Server) computeVerify(q *key.Query) (json.RawMessage, error) {
+func (s *Server) computeVerify(ctx context.Context, q *key.Query) (json.RawMessage, error) {
 	p, n, err := registry.Make(q.Spec.Protocol, q.Spec.Param)
 	if err != nil {
 		return nil, err
@@ -112,9 +112,13 @@ func (s *Server) computeVerify(q *key.Query) (json.RawMessage, error) {
 		return nil, fmt.Errorf("serve: %s is not a counting protocol", q.Spec.Protocol)
 	}
 	state := p.InitialStates()[0]
+	// The request's cancellation rides the budget into the closure
+	// walk, so an expired deadline stops the BFS mid-level instead of
+	// holding the admission tokens until the budget drains.
 	rr, err := verify.Counting(p, state, n, q.Verify.MaxX, petri.Budget{
 		MaxConfigs: q.Verify.Budget,
 		Workers:    s.workers,
+		Cancel:     ctx.Done(),
 	})
 	if err != nil {
 		return nil, err

@@ -55,6 +55,10 @@ func (j *Job) invariant(s JobState) error {
 		if j.errMsg == "" {
 			return fmt.Errorf("job %s failed without a reason", j.id)
 		}
+	case StateTimedOut:
+		if j.errMsg == "" {
+			return fmt.Errorf("job %s timed out without recording what expired", j.id)
+		}
 	}
 	return nil
 }

@@ -14,6 +14,9 @@ type metrics struct {
 	requests atomic.Int64
 	failures atomic.Int64
 	inflight atomic.Int64
+	// timeouts counts requests resolved by deadline expiry or client
+	// disconnect (a subset of failures).
+	timeouts atomic.Int64
 
 	phaseCount [numPhases]atomic.Int64
 	phaseNanos [numPhases]atomic.Int64
@@ -39,6 +42,7 @@ type MetricsSnapshot struct {
 	Requests int64 `json:"requests"`
 	Failures int64 `json:"failures"`
 	Inflight int64 `json:"inflight"`
+	Timeouts int64 `json:"timeouts"`
 
 	Cache struct {
 		store.Counters
@@ -53,8 +57,17 @@ type MetricsSnapshot struct {
 		Rejected  int64 `json:"rejected"`
 	} `json:"admission"`
 
+	Breaker struct {
+		Open    int   `json:"open"`
+		Tripped int64 `json:"tripped"`
+		Refused int64 `json:"refused"`
+	} `json:"breaker"`
+
 	Store struct {
 		Root string `json:"root"`
+		// Degraded mirrors the store's compute-only flag; /readyz
+		// carries the reason.
+		Degraded bool `json:"degraded"`
 		store.Stats
 	} `json:"store"`
 
@@ -63,13 +76,16 @@ type MetricsSnapshot struct {
 }
 
 // snapshot assembles the /metrics document from the daemon's parts.
-func (m *metrics) snapshot(st *store.Store, adm *admitter, jobs *jobTable, instance string, started time.Time) MetricsSnapshot {
+// Scraping it is O(1) in the store size: the footprint comes from the
+// store's incrementally maintained counters, never a tree walk.
+func (m *metrics) snapshot(st *store.Store, adm *admitter, brk *breaker, jobs *jobTable, instance string, started time.Time) MetricsSnapshot {
 	var out MetricsSnapshot
 	out.Instance = instance
 	out.UptimeMs = time.Since(started).Milliseconds()
 	out.Requests = m.requests.Load()
 	out.Failures = m.failures.Load()
 	out.Inflight = m.inflight.Load()
+	out.Timeouts = m.timeouts.Load()
 
 	c := st.Counters()
 	out.Cache.Counters = c
@@ -78,8 +94,10 @@ func (m *metrics) snapshot(st *store.Store, adm *admitter, jobs *jobTable, insta
 	}
 
 	out.Admission.Capacity, out.Admission.Available, out.Admission.Rejected = adm.snapshot()
+	out.Breaker.Open, out.Breaker.Tripped, out.Breaker.Refused = brk.snapshot()
 
 	out.Store.Root = st.Root()
+	out.Store.Degraded = st.Degraded()
 	if stats, err := st.Size(); err == nil {
 		out.Store.Stats = stats
 	}

@@ -10,29 +10,29 @@ import "fmt"
 // not a corrupt row discovered later. The conformance test walks
 // every legal path and rejects every illegal edge.
 //
-//	StateAdmitted ------------+
-//	|                         |
-//	| key derived,            |
-//	| store consulted         |
-//	V                         |
-//	StatePlanned ---------+   |
-//	|            \        |   |
-//	| cache miss: \ cache |   |
-//	| compute      \ hit  |   |
-//	V               \     |   |
-//	StateRunning     \    |   | admission rejected /
-//	|           \     \   |   | malformed plan
-//	| computed   \     \  |   |
-//	V             \     V V   V
-//	StateCached    +--> StateFailed
+//	StateAdmitted ------------+-------------------+
+//	|                         |                   |
+//	| key derived,            |                   |
+//	| store consulted         |                   |
+//	V                         |                   |
+//	StatePlanned ---------+   |                   |
+//	|            \        |   |                   +--> StateTimedOut
+//	| cache miss: \ cache |   |                   |    (deadline hit
+//	| compute      \ hit  |   |                   |    at any stage)
+//	V               \     |   |                   |
+//	StateRunning     \    |   | admission rejected|
+//	|           \     \   |   | / malformed plan  |
+//	| computed   \     \  |   |                   |
+//	V             \     V V   V                   |
+//	StateCached    +--> StateFailed     Planned --+-- Running
 type JobState int
 
 const (
-	// StateAdmitted: the request passed admission control (its cost
-	// tokens are held) and entered the daemon.
+	// StateAdmitted: the request entered the daemon (its record
+	// exists); it may still be waiting for admission tokens.
 	StateAdmitted JobState = iota
-	// StatePlanned: the query was canonicalized and keyed, and the
-	// result store was consulted.
+	// StatePlanned: the request holds its cost tokens, the query was
+	// canonicalized and keyed, and the result store was consulted.
 	StatePlanned
 	// StateRunning: a cache miss is being computed (this job leads the
 	// singleflight, or shares a leader's flight).
@@ -43,6 +43,11 @@ const (
 	// StateFailed: terminal — admission, planning, or compute failed;
 	// the job records why.
 	StateFailed
+	// StateTimedOut: terminal — the request's compute deadline expired
+	// (or its client disconnected) before a result was served; the job
+	// records which. Distinct from StateFailed because the query was
+	// fine: the same request re-posted later may hit warm.
+	StateTimedOut
 
 	numJobStates
 )
@@ -75,18 +80,19 @@ var jobSMConf = [numJobStates]smConf{
 	StateAdmitted: {
 		name:    "admitted",
 		flags:   smInitial,
-		allowed: bitsOf(StatePlanned, StateFailed),
+		allowed: bitsOf(StatePlanned, StateFailed, StateTimedOut),
 	},
 	StatePlanned: {
 		name:    "planned",
-		allowed: bitsOf(StateRunning, StateCached, StateFailed),
+		allowed: bitsOf(StateRunning, StateCached, StateFailed, StateTimedOut),
 	},
 	StateRunning: {
 		name:    "running",
-		allowed: bitsOf(StateCached, StateFailed),
+		allowed: bitsOf(StateCached, StateFailed, StateTimedOut),
 	},
-	StateCached: {name: "cached", flags: smFinal},
-	StateFailed: {name: "failed", flags: smFinal},
+	StateCached:   {name: "cached", flags: smFinal},
+	StateFailed:   {name: "failed", flags: smFinal},
+	StateTimedOut: {name: "timed_out", flags: smFinal},
 }
 
 func (s JobState) String() string {

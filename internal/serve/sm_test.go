@@ -122,10 +122,13 @@ func TestSMWalksEveryLegalPath(t *testing.T) {
 	}
 	want := []string{
 		"admitted->failed",
+		"admitted->timed_out",
 		"admitted->planned->cached",
 		"admitted->planned->failed",
+		"admitted->planned->timed_out",
 		"admitted->planned->running->cached",
 		"admitted->planned->running->failed",
+		"admitted->planned->running->timed_out",
 	}
 	if len(got) != len(want) {
 		t.Fatalf("walked %d paths %v, want %d", len(got), got, len(want))
@@ -165,7 +168,7 @@ func TestSMRejectsEveryIllegalEdge(t *testing.T) {
 			checked++
 		}
 	}
-	// 5 states = 25 ordered pairs, 6 legal edges: 19 illegal.
+	// 6 states = 36 ordered pairs, 10 legal edges: 26 illegal.
 	if wantIllegal := int(numJobStates*numJobStates) - len(allowedPairs()); checked != wantIllegal {
 		t.Fatalf("checked %d illegal edges, want %d", checked, wantIllegal)
 	}

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// health owns graceful degradation: when a publish fails even after
+// the transient-retry budget (disk full, persistent EIO), the store
+// flips to compute-only mode — results are served without persisting,
+// reads still answer warm hits, journal appends pause — and a single
+// background probe re-tests writability on an exponential backoff
+// schedule (ProbeBase doubling to 30s) until a probe write round-trips,
+// at which point the store heals itself and persisting resumes. The
+// daemon's /readyz reports this flag; requests never see it as an
+// error.
+type health struct {
+	s        *Store
+	degraded atomic.Bool
+	healed   atomic.Int64
+
+	mu      sync.Mutex
+	reason  string
+	since   time.Time
+	probing bool
+}
+
+// HealthSnapshot is the store-health block of /metrics and /readyz.
+type HealthSnapshot struct {
+	Degraded bool   `json:"degraded"`
+	Reason   string `json:"reason,omitempty"`
+	Since    string `json:"since,omitempty"` // RFC3339, seam clock
+}
+
+func (h *health) init(s *Store) { h.s = s }
+
+func (h *health) isDegraded() bool { return h.degraded.Load() }
+
+// Degraded reports whether the store is in compute-only mode.
+func (s *Store) Degraded() bool { return s.health.isDegraded() }
+
+// Health snapshots the degradation state.
+func (s *Store) Health() HealthSnapshot {
+	h := &s.health
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.degraded.Load() {
+		return HealthSnapshot{}
+	}
+	return HealthSnapshot{Degraded: true, Reason: h.reason, Since: h.since.UTC().Format(time.RFC3339)}
+}
+
+// degrade enters (or re-confirms) compute-only mode and ensures
+// exactly one probe goroutine is chasing recovery.
+func (h *health) degrade(reason string) {
+	h.mu.Lock()
+	if !h.degraded.Load() {
+		h.reason = reason
+		h.since = h.s.fsys.Now()
+		h.degraded.Store(true)
+		log.Printf("store: degraded to compute-only mode: %s", reason)
+	}
+	start := !h.probing
+	h.probing = true
+	h.mu.Unlock()
+	if start {
+		go h.probeLoop()
+	}
+}
+
+func (h *health) probeBase() time.Duration {
+	if h.s.opts.ProbeBase <= 0 {
+		return 250 * time.Millisecond
+	}
+	return h.s.opts.ProbeBase
+}
+
+// probeLoop re-tests the store on a doubling backoff until one probe
+// succeeds, then clears the degraded flag and exits.
+func (h *health) probeLoop() {
+	delay := h.probeBase()
+	for {
+		time.Sleep(delay)
+		if h.probe() {
+			h.mu.Lock()
+			h.degraded.Store(false)
+			h.probing = false
+			h.reason = ""
+			h.mu.Unlock()
+			h.healed.Add(1)
+			log.Printf("store: healed, persisting resumed")
+			return
+		}
+		if delay < 30*time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// probe is one writability check: durably write a scratch file under
+// the root, read it back, remove it. Deliberately not retried — the
+// loop around it is the retry.
+func (h *health) probe() bool {
+	path := h.s.root + "/.probe"
+	payload := []byte(h.s.fsys.Now().UTC().Format(time.RFC3339Nano) + "\n")
+	if err := faultfs.AtomicWrite(h.s.fsys, path, payload); err != nil {
+		return false
+	}
+	got, err := h.s.fsys.ReadFile(path)
+	if err != nil || string(got) != string(payload) {
+		return false
+	}
+	_ = h.s.fsys.Remove(path)
+	return true
+}

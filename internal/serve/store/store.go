@@ -21,6 +21,24 @@
 // caller for the same key blocks on the leader's flight and shares
 // its artifact or error. Errors are never persisted — a failed
 // compute leaves no artifact, so the next request retries.
+//
+// The store is self-healing rather than fail-stop. All seam I/O runs
+// under the faultfs bounded-retry policy (transient errno taxonomy,
+// exponential backoff + jitter); when a publish still fails — disk
+// full, persistent EIO — the store flips to a degraded, compute-only
+// mode: results are served without persisting, reads keep answering
+// warm hits, and a background probe re-tests writability on a backoff
+// schedule until the store heals. Requests never fail because the
+// cache underneath them is sick.
+//
+// Growth is bounded (Options.MaxBytes): every access is recorded in
+// an append-only journal (journal.log, crash-tolerant — the tail is a
+// recency hint, reconciled against the objects tree at Open and by
+// GC) feeding strict-LRU eviction. Eviction never removes an artifact
+// whose key has an open singleflight, nor the artifact whose own
+// publish triggered the pass, so the footprint is bounded by MaxBytes
+// plus the artifacts currently in flight. Footprint is an
+// incrementally maintained counter: Size is O(1) in the store size.
 package store
 
 import (
@@ -34,6 +52,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/canon"
 	"repro/internal/faultfs"
@@ -93,9 +112,9 @@ func seal(a *Artifact) ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// Counters aggregates the store's cache-traffic telemetry; /metrics
-// exposes a snapshot. Hits + Dedups over total lookups is the cache
-// hit rate the serve-smoke drill asserts on.
+// Counters aggregates the store's cache-traffic and degradation
+// telemetry; /metrics exposes a snapshot. Hits + Dedups over total
+// lookups is the cache hit rate the serve-smoke drill asserts on.
 type Counters struct {
 	// Hits counts disk lookups answered by an existing artifact.
 	Hits int64 `json:"hits"`
@@ -106,6 +125,21 @@ type Counters struct {
 	Misses int64 `json:"misses"`
 	// Quarantined counts corrupt artifacts moved to corrupt/.
 	Quarantined int64 `json:"quarantined"`
+	// Evictions counts artifacts removed by the LRU size bound.
+	Evictions int64 `json:"evictions"`
+	// IORetries counts transient seam errors absorbed by backoff.
+	IORetries int64 `json:"io_retries"`
+	// PutFailures counts publishes that failed even after retries —
+	// each one trips (or re-confirms) degraded mode.
+	PutFailures int64 `json:"put_failures"`
+	// PutSkipped counts computes served without persisting because the
+	// store was degraded when they finished.
+	PutSkipped int64 `json:"put_skipped"`
+	// ReadErrors counts lookups whose read failed after retries and
+	// were served by recomputing instead.
+	ReadErrors int64 `json:"read_errors"`
+	// Healed counts degraded→healthy transitions won by the probe.
+	Healed int64 `json:"healed"`
 }
 
 // flight is one in-progress compute; followers block on done.
@@ -115,25 +149,62 @@ type flight struct {
 	err  error
 }
 
+// Options sizes one store.
+type Options struct {
+	// FS is the filesystem seam (nil = the real OS); chaos tests
+	// inject fault schedules here.
+	FS faultfs.FS
+	// MaxBytes bounds the objects/ footprint; 0 = unbounded. When a
+	// publish pushes the footprint past the bound, least-recently-
+	// accessed artifacts are evicted (in-flight and just-published
+	// artifacts excepted).
+	MaxBytes int64
+	// RetryAttempts and RetryBase shape the transient-I/O retry policy
+	// (0 = the faultfs defaults: 5 attempts from 20ms).
+	RetryAttempts int
+	RetryBase     time.Duration
+	// ProbeBase is the first self-heal probe delay after the store
+	// degrades, doubling up to 30s (0 = 250ms).
+	ProbeBase time.Duration
+}
+
 // Store is the content-addressed artifact store. Safe for concurrent
 // use by any number of goroutines.
 type Store struct {
 	root     string
 	fsys     faultfs.FS
 	identity hostmeta.Process
+	opts     Options
 
 	mu      sync.Mutex
 	flights map[string]*flight
+
+	// lifecycle guards the object index, LRU order, footprint
+	// counters and journal (lifecycle.go).
+	lifecycle lifecycle
+
+	// health owns the degraded flag and the self-heal probe
+	// (health.go).
+	health health
 
 	hits        atomic.Int64
 	dedups      atomic.Int64
 	misses      atomic.Int64
 	quarantined atomic.Int64
+	evictions   atomic.Int64
+	ioRetries   atomic.Int64
+	putFailures atomic.Int64
+	putSkipped  atomic.Int64
+	readErrors  atomic.Int64
+	retrySeq    atomic.Uint64
 }
 
-// Open prepares a store rooted at dir (created if missing) over the
-// given filesystem seam; fsys nil means the real OS.
-func Open(dir string, fsys faultfs.FS) (*Store, error) {
+// Open prepares a store rooted at dir (created if missing): the
+// objects tree is scanned once to rebuild the footprint counters and
+// object index, and the access journal is replayed to restore LRU
+// recency across restarts.
+func Open(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
 	if fsys == nil {
 		fsys = faultfs.OS()
 	}
@@ -141,12 +212,31 @@ func Open(dir string, fsys faultfs.FS) (*Store, error) {
 		root:     dir,
 		fsys:     fsys,
 		identity: hostmeta.CollectProcess(),
+		opts:     opts,
 		flights:  map[string]*flight{},
 	}
-	if err := fsys.MkdirAll(s.objectsDir(), 0o755); err != nil {
+	s.health.init(s)
+	if err := s.retrier().Do(context.Background(), "mkdir objects/", func() error {
+		return fsys.MkdirAll(s.objectsDir(), 0o755)
+	}); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	if err := s.lifecycle.init(s); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
 	return s, nil
+}
+
+// retrier builds one per-operation bounded-retry policy over the
+// store's seam, with a fresh jitter stream per call (Retrier is not
+// concurrency-safe) and the absorbed-error counter wired in.
+func (s *Store) retrier() *faultfs.Retrier {
+	return &faultfs.Retrier{
+		Attempts: s.opts.RetryAttempts,
+		Base:     s.opts.RetryBase,
+		Seed:     s.retrySeq.Add(0x9e3779b97f4a7c15),
+		Count:    &s.ioRetries,
+	}
 }
 
 func (s *Store) objectsDir() string { return filepath.Join(s.root, "objects") }
@@ -160,21 +250,38 @@ func (s *Store) ObjectPath(k key.Key) string {
 // Get looks k up on disk. A missing artifact is (nil, nil): absence
 // is a normal cache state. A corrupt artifact is quarantined and
 // likewise reported as a miss — the caller recomputes; it is never
-// served.
-func (s *Store) Get(k key.Key) (*Artifact, error) {
+// served. A read that still fails after the transient-retry budget is
+// also a miss (counted in ReadErrors): a sick disk degrades the cache
+// to recomputation, never the request to an error.
+func (s *Store) Get(ctx context.Context, k key.Key) (*Artifact, error) {
 	path := s.ObjectPath(k)
-	data, err := s.fsys.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
+	var data []byte
+	err := s.retrier().Do(ctx, "read "+k.Short(), func() error {
+		var rerr error
+		data, rerr = s.fsys.ReadFile(path)
+		if rerr != nil && errors.Is(rerr, fs.ErrNotExist) {
+			data = nil
+			return nil
+		}
+		return rerr
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		s.readErrors.Add(1)
+		log.Printf("store: read %s failed after retries, recomputing: %v", path, err)
 		return nil, nil
 	}
-	if err != nil {
-		return nil, fmt.Errorf("store: read %s: %w", path, err)
+	if data == nil {
+		return nil, nil
 	}
 	art, reason := decode(data, k)
 	if art == nil {
-		s.quarantine(path, reason)
+		s.quarantine(path, reason, int64(len(data)))
 		return nil, nil
 	}
+	s.lifecycle.noteGet(k.SHA, art.Kind, int64(len(data)))
 	return art, nil
 }
 
@@ -211,7 +318,7 @@ func decode(data []byte, k key.Key) (*Artifact, string) {
 // .reason sibling, removing it from the cache namespace so it is
 // recomputed instead of served and never re-read in a loop. Name
 // collisions across repeated corruption get a numeric suffix.
-func (s *Store) quarantine(path, reason string) {
+func (s *Store) quarantine(path, reason string, size int64) {
 	qdir := filepath.Join(s.root, "corrupt")
 	if err := s.fsys.MkdirAll(qdir, 0o755); err != nil {
 		log.Printf("store: quarantine mkdir: %v", err)
@@ -232,24 +339,30 @@ func (s *Store) quarantine(path, reason string) {
 	// The reason file is evidence, not protocol state: best effort.
 	_ = s.fsys.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
 	s.quarantined.Add(1)
+	s.lifecycle.noteRemoved(shaOfObjectFile(base), size, "quarantine")
 	log.Printf("store: quarantined %s: %s", dst, reason)
 }
 
 // put seals and publishes one artifact durably (fsync-temp → rename →
-// dir-sync through the seam).
-func (s *Store) put(k key.Key, a *Artifact) error {
+// dir-sync through the seam), with transient failures of the whole
+// sequence retried as one unit (a re-run of a sequence whose rename
+// already landed is idempotent: same content, same target).
+func (s *Store) put(ctx context.Context, k key.Key, a *Artifact) (int64, error) {
 	path := s.ObjectPath(k)
-	if err := s.fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("store: put %s: %w", k, err)
-	}
 	data, err := seal(a)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if err := faultfs.AtomicWrite(s.fsys, path, data); err != nil {
-		return fmt.Errorf("store: put %s: %w", k, err)
+	err = s.retrier().Do(ctx, "put "+k.Short(), func() error {
+		if merr := s.fsys.MkdirAll(filepath.Dir(path), 0o755); merr != nil {
+			return merr
+		}
+		return faultfs.AtomicWrite(s.fsys, path, data)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("store: put %s: %w", k, err)
 	}
-	return nil
+	return int64(len(data)), nil
 }
 
 // GetOrCompute returns k's artifact, computing and persisting it
@@ -259,7 +372,12 @@ func (s *Store) put(k key.Key, a *Artifact) error {
 // hit reports whether this caller avoided a compute (disk hit or
 // shared flight). A compute error is returned to every waiting
 // caller and nothing is persisted; ctx cancels this caller's wait
-// (the leader's compute sees the leader's ctx).
+// (the leader's compute sees the leader's ctx), freeing the follower
+// immediately — the flight itself completes or dies with its leader.
+//
+// A publish failure is NOT a request failure: if the store is
+// degraded (or this publish trips degradation), the computed artifact
+// is served without persisting and the store heals in the background.
 func (s *Store) GetOrCompute(ctx context.Context, k key.Key, kind string, compute func(context.Context) (json.RawMessage, error)) (art *Artifact, hit bool, err error) {
 	s.mu.Lock()
 	if f, ok := s.flights[k.SHA]; ok {
@@ -290,7 +408,7 @@ func (s *Store) GetOrCompute(ctx context.Context, k key.Key, kind string, comput
 	// Leader: the disk check happens *inside* the flight, so a caller
 	// racing past a concurrent leader's completion re-reads the disk
 	// instead of recomputing.
-	if art, err = s.Get(k); err != nil {
+	if art, err = s.Get(ctx, k); err != nil {
 		return nil, false, err
 	}
 	if art != nil {
@@ -313,9 +431,23 @@ func (s *Store) GetOrCompute(ctx context.Context, k key.Key, kind string, comput
 	if err = art.compactResult(); err != nil {
 		return nil, false, err
 	}
-	if err = s.put(k, art); err != nil {
-		return nil, false, err
+	if s.Degraded() {
+		// Compute-only mode: serve without persisting; the probe owns
+		// re-testing the disk, the request path never hammers it.
+		s.putSkipped.Add(1)
+		return art, false, nil
 	}
+	size, perr := s.put(ctx, k, art)
+	if perr != nil {
+		if ctx.Err() != nil {
+			// The client is gone or out of time; nothing to degrade over.
+			return nil, false, ctx.Err()
+		}
+		s.putFailures.Add(1)
+		s.health.degrade(fmt.Sprintf("publish failed: %v", perr))
+		return art, false, nil
+	}
+	s.lifecycle.notePut(k.SHA, kind, size)
 	return art, false, nil
 }
 
@@ -326,36 +458,13 @@ func (s *Store) Counters() Counters {
 		Dedups:      s.dedups.Load(),
 		Misses:      s.misses.Load(),
 		Quarantined: s.quarantined.Load(),
+		Evictions:   s.evictions.Load(),
+		IORetries:   s.ioRetries.Load(),
+		PutFailures: s.putFailures.Load(),
+		PutSkipped:  s.putSkipped.Load(),
+		ReadErrors:  s.readErrors.Load(),
+		Healed:      s.health.healed.Load(),
 	}
-}
-
-// Stats describes the on-disk footprint for /metrics.
-type Stats struct {
-	Objects int   `json:"objects"`
-	Bytes   int64 `json:"bytes"`
-}
-
-// Size walks the objects tree. It reads the real filesystem directly
-// (observability, not protocol state — the faultfs seam carries no
-// directory listing).
-func (s *Store) Size() (Stats, error) {
-	var st Stats
-	err := filepath.WalkDir(s.objectsDir(), func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
-			return err
-		}
-		info, err := d.Info()
-		if err != nil {
-			return err
-		}
-		st.Objects++
-		st.Bytes += info.Size()
-		return nil
-	})
-	if errors.Is(err, fs.ErrNotExist) {
-		err = nil
-	}
-	return st, err
 }
 
 // Root returns the store directory (for logs and /metrics).

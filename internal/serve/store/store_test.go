@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/faultfs"
 	"repro/internal/serve/key"
@@ -32,7 +33,7 @@ func testKey(t *testing.T, x int64) key.Key {
 
 func openTest(t *testing.T, fsys faultfs.FS) *Store {
 	t.Helper()
-	s, err := Open(t.TempDir(), fsys)
+	s, err := Open(t.TempDir(), Options{FS: fsys})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestGetOrComputePersistsAndHits(t *testing.T) {
 
 	// A second store over the same directory (daemon restart) must hit
 	// without recomputing.
-	s2, err := Open(s.Root(), nil)
+	s2, err := Open(s.Root(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestTornWriteQuarantinedNotServed(t *testing.T) {
 	faulty := faultfs.NewFaulty(faultfs.OS(), []faultfs.Fault{
 		{Op: faultfs.OpWrite, Nth: 1, Path: k.SHA[:8], Tear: true, TearAt: 40},
 	})
-	s, err := Open(dir, faulty)
+	s, err := Open(dir, Options{FS: faulty})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestTornWriteQuarantinedNotServed(t *testing.T) {
 
 	// Restarted daemon over the same directory, healthy filesystem.
 	var computes atomic.Int64
-	s2, err := Open(dir, nil)
+	s2, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,33 +219,85 @@ func TestTornWriteQuarantinedNotServed(t *testing.T) {
 		t.Fatalf("no .reason file among %v", entries)
 	}
 	// The healthy recompute replaced the object: a third open hits.
-	s3, _ := Open(dir, nil)
+	s3, _ := Open(dir, Options{})
 	if _, hit, err := s3.GetOrCompute(context.Background(), k, key.KindSimulate, nil); err != nil || !hit {
 		t.Fatalf("after quarantine+recompute: hit=%v err=%v", hit, err)
 	}
 }
 
-// An interrupted publish whose rename never happened (temp file slain
-// with the process) must leave a clean miss, not an error.
-func TestCrashBeforeRenameIsCleanMiss(t *testing.T) {
+// A transiently failing rename (one EIO) is absorbed by the retry
+// policy: the publish succeeds on the second attempt and the caller
+// never notices.
+func TestTransientRenameRetried(t *testing.T) {
 	dir := t.TempDir()
 	k := testKey(t, 12)
 	faulty := faultfs.NewFaulty(faultfs.OS(), []faultfs.Fault{
 		{Op: faultfs.OpRename, Nth: 1, Err: syscall.EIO},
 	})
-	s, err := Open(dir, faulty)
+	s, err := Open(dir, Options{FS: faulty, RetryBase: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := s.GetOrCompute(context.Background(), k, key.KindSimulate, func(context.Context) (json.RawMessage, error) {
 		return result(12), nil
-	}); err == nil {
-		t.Fatal("failed rename reported success")
+	}); err != nil {
+		t.Fatalf("one transient rename failure leaked to the caller: %v", err)
 	}
-	s2, _ := Open(dir, nil)
-	art, err := s2.Get(k)
-	if err != nil || art != nil {
-		t.Fatalf("after failed publish: art=%v err=%v, want clean miss", art, err)
+	c := s.Counters()
+	if c.IORetries == 0 {
+		t.Fatalf("retry not recorded: %+v", c)
+	}
+	if s.Degraded() {
+		t.Fatal("transient fault degraded the store")
+	}
+	s2, _ := Open(dir, Options{})
+	art, err := s2.Get(context.Background(), k)
+	if err != nil || art == nil {
+		t.Fatalf("retried publish not durable: art=%v err=%v", art, err)
+	}
+}
+
+// A permanently failing publish (disk full) must not fail the request:
+// the store degrades to compute-only mode, the artifact is served
+// anyway, and the disk keeps a clean miss — no torn or partial file.
+func TestPermanentPublishFailureDegrades(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey(t, 12)
+	faulty := faultfs.NewFaulty(faultfs.OS(), []faultfs.Fault{
+		{Op: faultfs.OpWrite, Nth: 1, Path: k.SHA[:8], Err: syscall.ENOSPC},
+	})
+	// ProbeBase of an hour: the store must stay degraded for the whole
+	// test instead of self-healing mid-assertion.
+	s, err := Open(dir, Options{FS: faulty, ProbeBase: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, hit, err := s.GetOrCompute(context.Background(), k, key.KindSimulate, func(context.Context) (json.RawMessage, error) {
+		return result(12), nil
+	})
+	if err != nil || hit || art == nil {
+		t.Fatalf("degraded publish failed the request: art=%v hit=%v err=%v", art, hit, err)
+	}
+	if !s.Degraded() {
+		t.Fatal("ENOSPC publish did not degrade the store")
+	}
+	if c := s.Counters(); c.PutFailures != 1 {
+		t.Fatalf("put_failures = %d, want 1", c.PutFailures)
+	}
+	// While degraded, computes are served without touching the disk.
+	k2 := testKey(t, 13)
+	if _, _, err := s.GetOrCompute(context.Background(), k2, key.KindSimulate, func(context.Context) (json.RawMessage, error) {
+		return result(13), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Counters(); c.PutSkipped != 1 {
+		t.Fatalf("put_skipped = %d, want 1", c.PutSkipped)
+	}
+	s2, _ := Open(dir, Options{})
+	got, err := s2.Get(context.Background(), k)
+	if err != nil || got != nil {
+		t.Fatalf("after failed publish: art=%v err=%v, want clean miss", got, err)
 	}
 	if got := s2.Counters().Quarantined; got != 0 {
 		t.Fatalf("clean miss quarantined %d files", got)
@@ -273,7 +326,7 @@ func TestEditedArtifactQuarantined(t *testing.T) {
 	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	art, err := s.Get(k)
+	art, err := s.Get(context.Background(), k)
 	if err != nil || art != nil {
 		t.Fatalf("edited artifact served: art=%v err=%v", art, err)
 	}
@@ -302,7 +355,7 @@ func TestMisfiledArtifactNotServed(t *testing.T) {
 	if err := os.WriteFile(s.ObjectPath(kb), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	art, err := s.Get(kb)
+	art, err := s.Get(context.Background(), kb)
 	if err != nil || art != nil {
 		t.Fatalf("misfiled artifact served: art=%v err=%v", art, err)
 	}
