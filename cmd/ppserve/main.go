@@ -12,7 +12,14 @@
 // serve starts the long-lived daemon: POST /v1/simulate, /v1/verify
 // and /v1/bounds evaluate queries with a persistent content-addressed
 // result cache under -store (a repeated query — in any equivalent
-// spelling — is a file read, across restarts); GET /v1/jobs/{id}
+// spelling — is a file read, across restarts). POST /v1/sweep runs an
+// anytime size sweep and streams NDJSON: one checksummed cell delta
+// per finished (size, trial-block) cell while the compute runs, then
+// a terminal merged document byte-identical to the cached artifact —
+// a warm replay gets just the terminal line. Sweep bodies take the
+// ppsweep vocabulary (sizes, trials, block, ci_target, min_trials);
+// with ci_target each size stops once its 95% CI half-width reaches
+// that fraction of its mean. GET /v1/jobs/{id}
 // inspects a request's lifecycle record, GET /v1/keys pages the store
 // inventory, GET /metrics reports the cache hit rate, per-phase
 // latencies, admission balance and store footprint, and GET /healthz

@@ -9,11 +9,14 @@
 // Usage:
 //
 //	ppsweep plan -protocol flock -param 8 -sizes 16,64,256 -trials 20 \
-//	        -seed 1 -shards 4 -cost auto -o plan.json
+//	        -seed 1 -shards 4 -cost auto -block 5 -o plan.json
 //	ppsweep run -plan plan.json -shard s002 -o part-s002.json
 //	ppsweep run -plan plan.json -shard s002 -partials cells/   # resumable
-//	ppsweep dispatch -plan plan.json -dir queue/ -o merged.json
+//	ppsweep run -plan plan.json -shard s002 -partials cells/ -ci-target 0.05
+//	ppsweep dispatch -plan plan.json -dir queue/ -ci-target 0.05 -o merged.json
 //	ppsweep merge -o merged.json part-*.json
+//	ppsweep merge -partial -o partial.json queue/
+//	ppsweep status -plan plan.json -dir queue/
 //	ppsweep merge-bench BENCH_PR1.json BENCH_PR2.json BENCH_PR4.json
 //
 // plan partitions the (size × trial) grid deterministically: the same
@@ -43,6 +46,21 @@
 // bit-identical to what an unsharded run of the same spec would have
 // produced. merge-bench folds ppbench -json timing artifacts from
 // many hosts or PRs into one per-experiment trajectory table.
+//
+// Sweeps are anytime computations. plan -block dices the trial axis
+// into fixed blocks so cell boundaries — the granularity of resumable
+// persistence, streamed deltas, and stopping decisions — are
+// independent of the shard count. -ci-target enables sequential
+// stopping on run and dispatch: a size stops once its 95% CI
+// half-width falls to the target fraction of its mean steps (after
+// the -min-trials floor), and remaining cells are cancelled; the
+// reported document is truncated at the same canonical boundary by
+// the merge, so stopping never changes results, only how much work
+// they cost. merge -partial folds any subset of artifacts and cell
+// partials (pass queue directories or files) into a valid document
+// with per-point trials_done/trials_planned completeness; with every
+// cell present it is byte-identical to a strict merge. status renders
+// that view for a live queue directory without writing anything.
 package main
 
 import (
@@ -55,6 +73,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 	"time"
@@ -63,6 +82,7 @@ import (
 	"repro/internal/faultfs"
 	"repro/internal/registry"
 	"repro/internal/shard"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -95,7 +115,7 @@ func exitCode(err error) int {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("usage: ppsweep <plan|run|merge> [flags] (see -h of each subcommand)")
+		return errors.New("usage: ppsweep <plan|run|dispatch|merge|status|merge-bench> [flags] (see -h of each subcommand)")
 	}
 	switch args[0] {
 	case "plan":
@@ -106,10 +126,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return runDispatch(ctx, args[1:], out)
 	case "merge":
 		return runMerge(args[1:], out)
+	case "status":
+		return runStatus(args[1:], out)
 	case "merge-bench":
 		return runMergeBench(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (have plan, run, dispatch, merge, merge-bench)", args[0])
+		return fmt.Errorf("unknown subcommand %q (have plan, run, dispatch, merge, status, merge-bench)", args[0])
+	}
+}
+
+// stopRuleFlags registers the sequential-stopping flags shared by run,
+// dispatch, merge and status; the returned closure builds and
+// validates the rule after parsing.
+func stopRuleFlags(fs *flag.FlagSet) func() (sim.StopRule, error) {
+	ci := fs.Float64("ci-target", 0, "sequential stopping: stop a size once its 95% CI half-width is ≤ this fraction of its mean steps (0 = run every trial)")
+	mt := fs.Int("min-trials", 0, "never stop a size before this many trials (0 = default 8; requires -ci-target)")
+	return func() (sim.StopRule, error) {
+		rule := sim.StopRule{TargetRelCI: *ci, MinTrials: *mt}
+		if err := rule.Validate(); err != nil {
+			return sim.StopRule{}, err
+		}
+		return rule, nil
 	}
 }
 
@@ -129,6 +166,7 @@ func runPlan(args []string, out io.Writer) error {
 		eps       = fs.Float64("eps", 0, "countbatch drift tolerance")
 		shards    = fs.Int("shards", 1, "number of shards to plan")
 		cost      = fs.String("cost", "auto", "cell cost model: auto (scheduler-aware), uniform (equal trial counts), linear, log")
+		block     = fs.Int("block", 0, "dice each size's trial axis into blocks of this many trials, so cell boundaries are shard-count independent (0 = one cell per size per shard)")
 		outPath   = fs.String("o", "plan.json", "manifest output path")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -160,7 +198,7 @@ func runPlan(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	m, err := shard.PlanCost(sw, *shards, model)
+	m, err := shard.PlanCostBlock(sw, *shards, model, *block)
 	if err != nil {
 		return err
 	}
@@ -184,11 +222,19 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 		partials = fs.String("partials", "", "resume directory: persist each cell on completion (atomic rename) and skip cells already present")
 		outPath  = fs.String("o", "", "artifact output path (default part-<shard>.json)")
 	)
+	ruleOf := stopRuleFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return flagErr(err)
 	}
 	if *shardID == "" {
 		return errors.New("run: -shard is required")
+	}
+	rule, err := ruleOf()
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	if rule.Enabled() && *partials == "" {
+		return errors.New("run: -ci-target needs -partials; stopping decisions fold the cells persisted there")
 	}
 	var m shard.Manifest
 	if err := readJSON(*planPath, &m); err != nil {
@@ -199,9 +245,8 @@ func runShard(ctx context.Context, args []string, out io.Writer) error {
 	}
 	var art *shard.Artifact
 	var counters shard.Counters
-	var err error
 	if *partials != "" {
-		art, counters, err = shard.RunResumable(ctx, &m, *shardID, *workers, *partials)
+		art, counters, err = shard.RunResumableStop(ctx, &m, *shardID, *workers, *partials, rule, nil)
 	} else {
 		art, err = shard.Run(ctx, &m, *shardID, *workers)
 	}
@@ -249,11 +294,16 @@ func runDispatch(ctx context.Context, args []string, out io.Writer) error {
 		chaosFaults = fs.Int("chaos-faults", 0, "TESTING: number of faults in the -chaos-seed schedule (0 with a seed = 16)")
 		outPath     = fs.String("o", "", "also merge the drained queue to this path")
 	)
+	ruleOf := stopRuleFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return flagErr(err)
 	}
 	if *dir == "" {
 		return errors.New("dispatch: -dir is required")
+	}
+	rule, err := ruleOf()
+	if err != nil {
+		return fmt.Errorf("dispatch: %w", err)
 	}
 	var m shard.Manifest
 	if err := readJSON(*planPath, &m); err != nil {
@@ -285,6 +335,7 @@ func runDispatch(ctx context.Context, args []string, out io.Writer) error {
 		RetryBase:      *retryBase,
 		FS:             fsys,
 		FailAfterCells: *failAfter,
+		Stop:           rule,
 	})
 	// Counters surface on every exit path — a failed dispatch is
 	// exactly when operators need the degradation story.
@@ -301,6 +352,25 @@ func runDispatch(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if rule.Enabled() {
+		// Stopped shards carry truncated trial ranges, so the strict
+		// tiling merge does not apply: fold through the anytime path,
+		// which re-derives the canonical stopping boundary.
+		sw, pts, err := shard.CollectPartial(arts, nil)
+		if err != nil {
+			return err
+		}
+		merged, err := shard.MergePartial(sw, pts, rule)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(*outPath, merged); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "merged %d artifacts (stop rule applied) -> %s\n", len(arts), *outPath)
+		printAnytimeTable(out, merged)
+		return nil
+	}
 	merged, err := shard.Merge(arts)
 	if err != nil {
 		return err
@@ -316,23 +386,49 @@ func runDispatch(ctx context.Context, args []string, out io.Writer) error {
 func runMerge(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ppsweep merge", flag.ContinueOnError)
 	outPath := fs.String("o", "merged.json", "merged output path")
+	partial := fs.Bool("partial", false, "anytime merge: fold any subset of artifacts, cell partials and queue directories into a prefix-valid document with per-point completeness")
+	ruleOf := stopRuleFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return flagErr(err)
+	}
+	rule, err := ruleOf()
+	if err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	if rule.Enabled() && !*partial {
+		return errors.New("merge: -ci-target implies an anytime merge; add -partial")
 	}
 	if fs.NArg() == 0 {
 		return errors.New("merge: no artifact files given")
 	}
-	arts := make([]*shard.Artifact, 0, fs.NArg())
-	for _, path := range fs.Args() {
-		a, err := shard.ReadArtifact(path)
+	arts, cells, err := loadMergeInputs(fs.Args())
+	if err != nil {
+		return err
+	}
+	if *partial {
+		sw, pts, err := shard.CollectPartial(arts, cells)
 		if err != nil {
 			return err
 		}
-		arts = append(arts, a)
+		merged, err := shard.MergePartial(sw, pts, rule)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(*outPath, merged); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "merged %d artifacts + %d cells (anytime) -> %s\n", len(arts), len(cells), *outPath)
+		printAnytimeTable(out, merged)
+		return nil
+	}
+	if len(cells) > 0 {
+		return fmt.Errorf("merge: %d cell partials among the inputs; cell-granularity inputs need -partial", len(cells))
 	}
 	merged, err := shard.Merge(arts)
 	if err != nil {
-		return err
+		// The strict merge demands a complete tiling; incomplete or
+		// stopped inputs are the anytime merge's job.
+		return fmt.Errorf("%w (for a subset of a sweep, retry with -partial)", err)
 	}
 	if err := writeJSON(*outPath, merged); err != nil {
 		return err
@@ -340,6 +436,122 @@ func runMerge(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "merged %d artifacts -> %s\n", len(arts), *outPath)
 	printMergedTable(out, merged)
 	return nil
+}
+
+// loadMergeInputs reads merge arguments of any shape: a directory is
+// scanned for part-*.json artifacts and partials/cell-*.json (a queue
+// directory works directly), a cell-*.json file is a sealed cell
+// partial, anything else must be a shard artifact.
+func loadMergeInputs(paths []string) ([]*shard.Artifact, []*shard.CellArtifact, error) {
+	var arts []*shard.Artifact
+	var cells []*shard.CellArtifact
+	for _, path := range paths {
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if info.IsDir() {
+			a, c, err := shard.ScanPartialDir(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			arts = append(arts, a...)
+			cells = append(cells, c...)
+			continue
+		}
+		if strings.HasPrefix(filepath.Base(path), "cell-") {
+			ca, err := shard.ReadCellFile(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			cells = append(cells, ca)
+			continue
+		}
+		a, err := shard.ReadArtifact(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		arts = append(arts, a)
+	}
+	return arts, cells, nil
+}
+
+// runStatus renders the anytime view of a queue directory: how much of
+// each sweep point is in, which sizes have stopped, and the stats so
+// far. It reads what run and dispatch left behind and writes nothing,
+// so it is safe to point at a live queue.
+func runStatus(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ppsweep status", flag.ContinueOnError)
+	var (
+		planPath = fs.String("plan", "plan.json", "manifest path (from ppsweep plan)")
+		dir      = fs.String("dir", "", "queue or partials directory to inspect")
+	)
+	ruleOf := stopRuleFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return flagErr(err)
+	}
+	if *dir == "" {
+		return errors.New("status: -dir is required")
+	}
+	rule, err := ruleOf()
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	var m shard.Manifest
+	if err := readJSON(*planPath, &m); err != nil {
+		return err
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	arts, cells, err := loadMergeInputs([]string{*dir})
+	if err != nil {
+		return err
+	}
+	if len(arts) == 0 && len(cells) == 0 {
+		fmt.Fprintf(out, "status: nothing computed yet in %s (0 of %d planned trials)\n", *dir, m.Sweep.Trials*len(m.Sweep.Sizes))
+		return nil
+	}
+	sw, pts, err := shard.CollectPartial(arts, cells)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(sw, m.Sweep) {
+		return fmt.Errorf("status: artifacts in %s belong to a different sweep than %s", *dir, *planPath)
+	}
+	merged, err := shard.MergePartial(sw, pts, rule)
+	if err != nil {
+		return err
+	}
+	done, planned := 0, 0
+	for _, pt := range merged.Points {
+		done += pt.Stats.Trials
+		planned += sw.Trials
+	}
+	fmt.Fprintf(out, "status: %d artifacts + %d cells, %d of %d trials folded (%.0f%%)\n",
+		len(arts), len(cells), done, planned, 100*float64(done)/float64(planned))
+	printAnytimeTable(out, merged)
+	return nil
+}
+
+// printAnytimeTable is printMergedTable plus completeness: trials done
+// against planned and whether the stop rule fired for each size.
+func printAnytimeTable(out io.Writer, merged *shard.AnytimeMerged) {
+	fmt.Fprintf(out, "%10s %8s %8s %8s %10s %8s %14s %14s\n",
+		"x", "done", "planned", "stopped", "converged", "correct", "mean steps", "±95% CI")
+	for _, pt := range merged.Points {
+		st := &pt.Stats
+		done, planned := st.Trials, pt.TrialsPlanned
+		if planned == 0 {
+			planned = st.Trials
+		}
+		stoppedMark := ""
+		if pt.Stopped {
+			stoppedMark = "yes"
+		}
+		fmt.Fprintf(out, "%10d %8d %8d %8s %10d %8d %14.1f %14.1f\n",
+			pt.X, done, planned, stoppedMark, st.Converged, st.Correct, st.MeanSteps(), st.HalfCI95Steps())
+	}
 }
 
 func printMergedTable(out io.Writer, merged *shard.Merged) {

@@ -290,3 +290,245 @@ func TestRunUnknownShardID(t *testing.T) {
 		t.Error("unknown shard id accepted")
 	}
 }
+
+// anytimePlanArgs plans a blocked sweep sized for the stop rule to
+// fire well before the trial budget: flock(4), 48 trials in blocks of
+// 4.
+func anytimePlanArgs(dir, planName string) []string {
+	return []string{
+		"plan", "-protocol", "flock", "-param", "4", "-sizes", "2,4",
+		"-trials", "48", "-seed", "1", "-steps", "200000", "-patience", "1000",
+		"-block", "4", "-shards", "1", "-o", filepath.Join(dir, planName),
+	}
+}
+
+// merge -partial folds a strict subset of a sweep into a valid partial
+// document, and the strict merge of the same subset fails with a hint
+// pointing at -partial.
+func TestMergePartialSubsetCLI(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 2, "plan.json")...)
+	plan := filepath.Join(dir, "plan.json")
+	s0 := filepath.Join(dir, "part-s000.json")
+	mustRun(t, "run", "-plan", plan, "-shard", "s000", "-o", s0)
+
+	err := run(context.Background(),
+		[]string{"merge", "-o", filepath.Join(dir, "strict.json"), s0}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("strict merge accepted an incomplete artifact set")
+	}
+	if !strings.Contains(err.Error(), "-partial") {
+		t.Errorf("strict-merge error %q does not hint at -partial", err)
+	}
+
+	partial := filepath.Join(dir, "partial.json")
+	out := mustRun(t, "merge", "-partial", "-o", partial, s0)
+	for _, want := range []string{"anytime", "done", "planned"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merge -partial output missing %q:\n%s", want, out)
+		}
+	}
+	var doc shard.AnytimeMerged
+	data, err := os.ReadFile(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Partial {
+		t.Error("subset merge not marked partial")
+	}
+	incomplete := 0
+	for _, pt := range doc.Points {
+		if pt.TrialsPlanned > 0 && pt.Stats.Trials < pt.TrialsPlanned {
+			incomplete++
+		}
+	}
+	if incomplete == 0 {
+		t.Error("no point reports missing trials in a half-sweep merge")
+	}
+}
+
+// merge -partial accepts a full queue directory (artifacts plus cell
+// partials) and, with every shard present, reproduces the strict merge
+// byte for byte modulo the anytime schema.
+func TestMergePartialFullSetCLI(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 2, "plan.json")...)
+	plan := filepath.Join(dir, "plan.json")
+	s0 := filepath.Join(dir, "part-s000.json")
+	s1 := filepath.Join(dir, "part-s001.json")
+	mustRun(t, "run", "-plan", plan, "-shard", "s000", "-o", s0)
+	mustRun(t, "run", "-plan", plan, "-shard", "s001", "-o", s1)
+	strictPath := filepath.Join(dir, "strict.json")
+	anytimePath := filepath.Join(dir, "anytime.json")
+	mustRun(t, "merge", "-o", strictPath, s0, s1)
+	mustRun(t, "merge", "-partial", "-o", anytimePath, s0, s1)
+	strict, err := os.ReadFile(strictPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anytime, err := os.ReadFile(anytimePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(strict) != string(anytime) {
+		t.Errorf("complete anytime merge differs from strict merge:\n%s\nvs\n%s", anytime, strict)
+	}
+}
+
+// status renders the live view of a queue a fault-injected dispatcher
+// abandoned halfway: completeness under 100%, a table, nothing
+// written.
+func TestStatusCLI(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 2, "plan.json")...)
+	plan := filepath.Join(dir, "plan.json")
+	queue := filepath.Join(dir, "queue")
+	if err := run(context.Background(),
+		[]string{"dispatch", "-plan", plan, "-dir", queue, "-fail-after-cells", "1"},
+		&strings.Builder{}); err == nil {
+		t.Fatal("fault-injected dispatch should fail")
+	}
+	before, err := os.ReadDir(queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mustRun(t, "status", "-plan", plan, "-dir", queue)
+	for _, want := range []string{"trials folded", "done", "planned", "mean steps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "(100%)") {
+		t.Errorf("half-run queue reports full completeness:\n%s", out)
+	}
+	after, err := os.ReadDir(queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Errorf("status wrote into the queue directory: %d entries -> %d", len(before), len(after))
+	}
+
+	// An empty-but-existing directory is reported, not an error.
+	empty := filepath.Join(dir, "empty")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if out := mustRun(t, "status", "-plan", plan, "-dir", empty); !strings.Contains(out, "nothing computed yet") {
+		t.Errorf("empty queue status:\n%s", out)
+	}
+}
+
+// -ci-target through the CLI: run stops early, the anytime merge of
+// its partials reports stopped points with saved trials, and dispatch
+// with the same rule produces the identical document.
+func TestCITargetRunDispatchCLI(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, anytimePlanArgs(dir, "plan.json")...)
+	plan := filepath.Join(dir, "plan.json")
+	cells := filepath.Join(dir, "cells")
+	art := filepath.Join(dir, "part-s000.json")
+	out := mustRun(t, "run", "-plan", plan, "-shard", "s000",
+		"-partials", cells, "-ci-target", "0.05", "-o", art)
+	if !strings.Contains(out, "stopped early") {
+		t.Errorf("run counters do not mention early stopping:\n%s", out)
+	}
+	merged := filepath.Join(dir, "merged.json")
+	mustRun(t, "merge", "-partial", "-ci-target", "0.05", "-o", merged, art)
+	var doc shard.AnytimeMerged
+	data, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Partial {
+		t.Error("stopped sweep reported partial: cancelled trials are not missing trials")
+	}
+	for _, pt := range doc.Points {
+		if !pt.Stopped {
+			t.Errorf("x=%d not stopped", pt.X)
+		}
+		if pt.TrialsDone >= pt.TrialsPlanned {
+			t.Errorf("x=%d: stopping saved nothing (%d of %d)", pt.X, pt.TrialsDone, pt.TrialsPlanned)
+		}
+	}
+
+	queue := filepath.Join(dir, "queue")
+	dispatched := filepath.Join(dir, "dispatched.json")
+	dout := mustRun(t, "dispatch", "-plan", plan, "-dir", queue,
+		"-ci-target", "0.05", "-o", dispatched)
+	if !strings.Contains(dout, "stop rule applied") {
+		t.Errorf("dispatch merge does not mention the stop rule:\n%s", dout)
+	}
+	a, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(dispatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("dispatched stop-rule merge differs from run+merge pipeline:\n%s\nvs\n%s", b, a)
+	}
+}
+
+// The anytime flag error matrix: rules without their prerequisites,
+// out-of-range targets, and cell inputs fed to the strict merge.
+func TestAnytimeFlagErrorsCLI(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, anytimePlanArgs(dir, "plan.json")...)
+	plan := filepath.Join(dir, "plan.json")
+	cells := filepath.Join(dir, "cells")
+	mustRun(t, "run", "-plan", plan, "-shard", "s000", "-partials", cells,
+		"-o", filepath.Join(dir, "part-s000.json"))
+	entries, err := os.ReadDir(cells)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cell partials to test with: %v", err)
+	}
+	cell := filepath.Join(cells, entries[0].Name())
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"run rule sans partials", []string{"run", "-plan", plan, "-shard", "s000", "-ci-target", "0.05"}, "-partials"},
+		{"run bad target", []string{"run", "-plan", plan, "-shard", "s000", "-partials", cells, "-ci-target", "2"}, "target"},
+		{"run floor sans target", []string{"run", "-plan", plan, "-shard", "s000", "-partials", cells, "-min-trials", "4"}, "floor"},
+		{"merge rule sans partial", []string{"merge", "-ci-target", "0.05", cell}, "-partial"},
+		{"merge cells sans partial", []string{"merge", cell}, "-partial"},
+		{"status no dir", []string{"status", "-plan", plan}, "-dir"},
+		{"status bad target", []string{"status", "-plan", plan, "-dir", cells, "-ci-target", "-1"}, "target"},
+	}
+	for _, tc := range cases {
+		err := run(context.Background(), append([]string{}, tc.args...), &strings.Builder{})
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// status rejects a directory whose artifacts belong to a different
+// sweep than the given plan.
+func TestStatusForeignPlanCLI(t *testing.T) {
+	dir := t.TempDir()
+	mustRun(t, planArgs(dir, 1, "plan.json")...)
+	mustRun(t, anytimePlanArgs(dir, "other.json")...)
+	cells := filepath.Join(dir, "cells")
+	mustRun(t, "run", "-plan", filepath.Join(dir, "plan.json"), "-shard", "s000",
+		"-partials", cells, "-o", filepath.Join(dir, "part.json"))
+	err := run(context.Background(),
+		[]string{"status", "-plan", filepath.Join(dir, "other.json"), "-dir", cells},
+		&strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("foreign-plan status: got %v", err)
+	}
+}

@@ -17,11 +17,14 @@ import (
 // its doc comment or the doc stops naming its invariants.
 func TestPackageDocsStateInvariants(t *testing.T) {
 	requirements := map[string][]string{
-		// The seed contract and accumulator mergeability (PRs 1–3).
-		"internal/sim": {"positional", "mergeable", "DeriveSeed", "associative"},
+		// The seed contract and accumulator mergeability (PRs 1–3), plus
+		// the anytime layer: streaming sinks and sequential stopping (PR 10).
+		"internal/sim": {"positional", "mergeable", "DeriveSeed", "associative", "CellSink", "StopRule", "sequential stopping"},
 		// The sharding exactness contract and the dispatch layer (PRs 3, 5),
-		// plus the integrity/liveness hardening (PR 7).
-		"internal/shard": {"positional", "mergeable", "bit-identical", "lease", "checksum", "quarantine", "heartbeat sequence"},
+		// plus the integrity/liveness hardening (PR 7) and the anytime
+		// merge/stopping contract (PR 10): prefix-valid partial merges,
+		// block-diced cell grids, and merge-time stopping canonicality.
+		"internal/shard": {"positional", "mergeable", "bit-identical", "lease", "checksum", "quarantine", "heartbeat sequence", "anytime", "MergePartial", "completeness", "merge time", "pure function of (spec, block, rule)"},
 		// The injectable I/O seam and the error taxonomy (PR 7).
 		"internal/faultfs": {"seam", "schedule", "Transient", "fsync", "reproducibility"},
 		// Config value semantics and CountSet arena ownership (PRs 1, 4).
@@ -34,8 +37,9 @@ func TestPackageDocsStateInvariants(t *testing.T) {
 		"internal/canon": {"canonical", "CRC-32C", "sorted keys", "checksum", "json.Number"},
 		// The daemon's caching, lifecycle, and admission contracts (PR 8),
 		// plus the self-healing serve path (PR 9): deadlines, the per-key
-		// circuit breaker, and degraded-mode readiness.
-		"internal/serve": {"canonical", "content-addressed", "singleflight", "token bucket", "quarantined", "deadline", "timed_out", "circuit breaker", "Retry-After", "compute-only"},
+		// circuit breaker, and degraded-mode readiness. PR 10 adds the
+		// anytime streaming endpoint and its replay contract.
+		"internal/serve": {"canonical", "content-addressed", "singleflight", "token bucket", "quarantined", "deadline", "timed_out", "circuit breaker", "Retry-After", "compute-only", "/v1/sweep", "NDJSON", "delta", "terminal merged document"},
 		// Key stability is the cache-correctness contract (PR 8).
 		"internal/serve/key": {"canonical", "SchemaVersion", "golden", "SHA-256"},
 		// Store durability and exactly-once compute (PR 8), plus
@@ -51,9 +55,40 @@ func TestPackageDocsStateInvariants(t *testing.T) {
 		if len(doc) < 300 {
 			t.Errorf("%s: package doc is %d bytes — too short to document its invariants", dir, len(doc))
 		}
+		// Multi-word requirements must match across comment line breaks.
+		flat := strings.Join(strings.Fields(doc), " ")
+		for _, want := range wants {
+			if !strings.Contains(flat, want) {
+				t.Errorf("%s: package doc no longer mentions %q — if the invariant moved, move its documentation (and this lint) with it", dir, want)
+			}
+		}
+	}
+}
+
+// The user-facing docs must keep pace with the user-facing surface:
+// README's tool table has to name the anytime flags and the streaming
+// endpoint, and DESIGN.md has to carry the "Anytime sweeps" section
+// that specifies the delta schema, the completeness semantics, and
+// the stopping rule the test battery pins.
+func TestMarkdownDocsCoverAnytimeSurface(t *testing.T) {
+	requirements := map[string][]string{
+		"README.md": {
+			"-ci-target", "/v1/sweep", "merge -partial", "status",
+		},
+		"DESIGN.md": {
+			"Anytime sweeps", "trials_done", "trials_planned",
+			"ci_target", "NDJSON", "stop rule", "MergePartial",
+		},
+	}
+	for file, wants := range requirements {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		doc := strings.Join(strings.Fields(string(data)), " ")
 		for _, want := range wants {
 			if !strings.Contains(doc, want) {
-				t.Errorf("%s: package doc no longer mentions %q — if the invariant moved, move its documentation (and this lint) with it", dir, want)
+				t.Errorf("%s no longer mentions %q — the anytime-sweep surface must stay documented", file, want)
 			}
 		}
 	}

@@ -722,6 +722,85 @@ func E11LargeNBatch() (*Table, error) {
 	return t, nil
 }
 
+// E11aAnytimeStopping measures what sequential stopping buys: the
+// same sweep run exhaustively and under a CI-target stop rule, point
+// by point. The stopped run must agree with the exhaustive one within
+// the combined confidence intervals — stopping trades trials for a
+// certified precision target, never for a different answer — and the
+// merge-time truncation contract makes the stopped document a pure
+// function of the spec, the block size and the rule, independent of
+// how many workers raced over the cells.
+func E11aAnytimeStopping() (*Table, error) {
+	t := &Table{
+		ID:    "E11a",
+		Title: "sequential stopping under a 5% CI target (anytime sweeps)",
+		Claim: "a per-size CI-target stop rule cuts trial counts by half or more " +
+			"while the stopped means stay within the combined 95% CIs of the " +
+			"exhaustive sweep",
+		Header: []string{"agents", "planned", "done", "saved", "mean (stop)", "mean (full)", "|Δ| ≤ ΣCI"},
+	}
+	sw := shard.SweepSpec{
+		Protocol: "flock", Param: 4, InputState: "i",
+		Sizes: []int64{2, 4, 8, 16}, Trials: 48, Seed: 1,
+		MaxSteps: 200000, Patience: 1000,
+	}
+	rule := sim.StopRule{TargetRelCI: 0.05, MinTrials: 8}
+	m, err := shard.PlanCostBlock(sw, 1, shard.DefaultCost(sw.Scheduler), 4)
+	if err != nil {
+		return nil, fmt.Errorf("E11a plan: %w", err)
+	}
+	// Exhaustive reference: every planned cell, folded without a rule.
+	full, err := shard.Run(context.Background(), m, m.Shards[0].ID, 0)
+	if err != nil {
+		return nil, fmt.Errorf("E11a exhaustive run: %w", err)
+	}
+	swc, pts, err := shard.CollectPartial([]*shard.Artifact{full}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("E11a collect: %w", err)
+	}
+	exhaustive, err := shard.MergePartial(swc, pts, sim.StopRule{})
+	if err != nil {
+		return nil, fmt.Errorf("E11a exhaustive merge: %w", err)
+	}
+	// Stopped view: the same cells truncated at the canonical stopping
+	// boundary. (Workers running live with the rule skip the truncated
+	// cells instead of computing them; the document is identical.)
+	stopped, err := shard.MergePartial(swc, pts, rule)
+	if err != nil {
+		return nil, fmt.Errorf("E11a stopped merge: %w", err)
+	}
+	totalPlanned, totalDone := 0, 0
+	for i, pt := range stopped.Points {
+		ref := &exhaustive.Points[i]
+		if !pt.Stopped {
+			return nil, fmt.Errorf("E11a x=%d: rule never fired in %d trials", pt.X, sw.Trials)
+		}
+		gap := math.Abs(pt.Stats.MeanSteps() - ref.Stats.MeanSteps())
+		bound := pt.Stats.HalfCI95Steps() + ref.Stats.HalfCI95Steps()
+		if gap > bound {
+			return nil, fmt.Errorf("E11a x=%d: stopped mean drifted %.2f beyond the combined CI %.2f", pt.X, gap, bound)
+		}
+		totalPlanned += pt.TrialsPlanned
+		totalDone += pt.TrialsDone
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", pt.X),
+			fmt.Sprintf("%d", pt.TrialsPlanned),
+			fmt.Sprintf("%d", pt.TrialsDone),
+			fmt.Sprintf("%.0f%%", 100*(1-float64(pt.TrialsDone)/float64(pt.TrialsPlanned))),
+			fmt.Sprintf("%.1f", pt.Stats.MeanSteps()),
+			fmt.Sprintf("%.1f", ref.Stats.MeanSteps()),
+			fmt.Sprintf("%v", gap <= bound),
+		})
+	}
+	if totalDone*2 > totalPlanned {
+		return nil, fmt.Errorf("E11a: stopping saved only %d of %d trials", totalPlanned-totalDone, totalPlanned)
+	}
+	t.Verdict = fmt.Sprintf("stop rule fired on every size, ran %d of %d planned trials "+
+		"(%.0f%% saved); every stopped mean within the combined 95%% CIs",
+		totalDone, totalPlanned, 100*(1-float64(totalDone)/float64(totalPlanned)))
+	return t, nil
+}
+
 // MachineTable is a bonus table: the squaring machine behind Tower.
 func MachineTable() (*Table, error) {
 	t := &Table{
@@ -769,6 +848,7 @@ func Index() []NamedExperiment {
 		{"E9", E9Stabilized},
 		{"E10", E10Convergence},
 		{"E11", E11LargeNBatch},
+		{"E11a", E11aAnytimeStopping},
 		// E12 (cold) must precede E12w (warm): they share one daemon,
 		// so the cold replay doubles as the warm replay's prewarm and
 		// the timing artifact's E12/E12w pair is a true cold/warm gap.

@@ -14,8 +14,8 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatalf("All: %v", err)
 	}
-	if len(tables) != 14 {
-		t.Fatalf("experiments = %d, want 14", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(tables))
 	}
 	seen := make(map[string]bool)
 	for _, tbl := range tables {
@@ -42,7 +42,7 @@ func TestAllExperiments(t *testing.T) {
 			t.Errorf("%s: missing verdict", tbl.ID)
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E12w"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E11a", "E12", "E12w"} {
 		if !seen[id] {
 			t.Errorf("experiment %s missing", id)
 		}

@@ -117,6 +117,26 @@ func queryCost(q *key.Query) int64 {
 			return math.MaxInt64
 		}
 		return per * trials
+	case key.KindSweep:
+		p := q.Sweep
+		model := shard.DefaultCost(p.Scheduler)
+		trials := int64(p.Trials)
+		total := int64(0)
+		for _, x := range p.Sizes {
+			per := model.TrialCost(x)
+			if per <= 0 {
+				per = 1
+			}
+			if trials > 0 && per > math.MaxInt64/trials {
+				return math.MaxInt64
+			}
+			c := per * trials
+			if total > math.MaxInt64-c {
+				return math.MaxInt64
+			}
+			total += c
+		}
+		return total
 	default:
 		return 1
 	}

@@ -44,6 +44,7 @@ const (
 	KindSimulate = "simulate"
 	KindVerify   = "verify"
 	KindBounds   = "bounds"
+	KindSweep    = "sweep"
 )
 
 // Spec names a protocol construction: a registry entry plus its
@@ -113,6 +114,39 @@ type BoundsParams struct {
 	KMax   int     `json:"kmax,omitempty"`
 }
 
+// SweepParams are the /v1/sweep parameters: a multi-size anytime
+// sweep over the shard planner, streamed as NDJSON cell deltas and
+// cached whole under the plan-content key.
+type SweepParams struct {
+	// Sizes are the population sizes swept (required, no duplicates —
+	// they are the merge keys).
+	Sizes []int64 `json:"sizes"`
+	// Trials is the per-size trial ceiling (default 10); an enabled
+	// stop rule may cancel the tail.
+	Trials int `json:"trials"`
+	// Seed is the sweep's base seed (default 1); per-(size, trial)
+	// seeds derive positionally.
+	Seed int64 `json:"seed"`
+	// MaxSteps and Patience mirror SimulateParams.
+	MaxSteps int `json:"max_steps"`
+	Patience int `json:"patience"`
+	// Scheduler/Batch/Eps mirror SimulateParams.
+	Scheduler string  `json:"scheduler"`
+	Batch     int     `json:"batch,omitempty"`
+	Eps       float64 `json:"eps,omitempty"`
+	// Block is the trial-axis dice: every streamed delta and every
+	// stopping checkpoint covers Block trials (the last block ragged).
+	// Default ⌈Trials/4⌉, so a sweep streams at least ~4 deltas per
+	// size. Always explicit in the canonical form: the block size
+	// changes the stream and the stopping boundaries, hence the key.
+	Block int `json:"block"`
+	// CITarget enables sequential stopping: a size stops once its 95%
+	// CI half-width is ≤ CITarget × mean steps (after MinTrials).
+	// 0 disables stopping and omits both fields from the key.
+	CITarget  float64 `json:"ci_target,omitempty"`
+	MinTrials int     `json:"min_trials,omitempty"`
+}
+
 // Query is one canonicalized request: a kind, a protocol spec (unused
 // by bounds queries), and exactly the parameter block of its kind.
 type Query struct {
@@ -121,6 +155,7 @@ type Query struct {
 	Simulate *SimulateParams `json:"simulate,omitempty"`
 	Verify   *VerifyParams   `json:"verify,omitempty"`
 	Bounds   *BoundsParams   `json:"bounds,omitempty"`
+	Sweep    *SweepParams    `json:"sweep,omitempty"`
 }
 
 // envelope is the hashed document: the schema version rides inside,
@@ -138,7 +173,7 @@ type envelope struct {
 func (q *Query) Normalize() error {
 	switch q.Kind {
 	case KindSimulate:
-		if q.Simulate == nil || q.Verify != nil || q.Bounds != nil {
+		if q.Simulate == nil || q.Verify != nil || q.Bounds != nil || q.Sweep != nil {
 			return fmt.Errorf("key: %s query must carry exactly the simulate parameter block", q.Kind)
 		}
 		if err := q.normalizeSpec(); err != nil {
@@ -197,7 +232,7 @@ func (q *Query) Normalize() error {
 			return err
 		}
 	case KindVerify:
-		if q.Verify == nil || q.Simulate != nil || q.Bounds != nil {
+		if q.Verify == nil || q.Simulate != nil || q.Bounds != nil || q.Sweep != nil {
 			return fmt.Errorf("key: %s query must carry exactly the verify parameter block", q.Kind)
 		}
 		if err := q.normalizeSpec(); err != nil {
@@ -224,13 +259,108 @@ func (q *Query) Normalize() error {
 			return fmt.Errorf("key: negative budget %d", p.Budget)
 		}
 	case KindBounds:
-		if q.Bounds == nil || q.Simulate != nil || q.Verify != nil {
+		if q.Bounds == nil || q.Simulate != nil || q.Verify != nil || q.Sweep != nil {
 			return fmt.Errorf("key: %s query must carry exactly the bounds parameter block", q.Kind)
 		}
 		if q.Spec != (Spec{}) {
 			return fmt.Errorf("key: bounds queries take no protocol spec (got %+v)", q.Spec)
 		}
 		return q.Bounds.normalize()
+	case KindSweep:
+		if q.Sweep == nil || q.Simulate != nil || q.Verify != nil || q.Bounds != nil {
+			return fmt.Errorf("key: %s query must carry exactly the sweep parameter block", q.Kind)
+		}
+		if err := q.normalizeSpec(); err != nil {
+			return err
+		}
+		// Sweeps score Correct against a counting threshold, like the
+		// ppsweep pipeline: non-counting protocols have no per-size
+		// expected value.
+		_, n, err := registry.Make(q.Spec.Protocol, q.Spec.Param)
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return fmt.Errorf("key: %s decides no counting predicate; sweeps need a threshold", q.Spec.Protocol)
+		}
+		p := q.Sweep
+		if len(p.Sizes) == 0 {
+			return fmt.Errorf("key: sweep needs a non-empty size list")
+		}
+		seen := make(map[int64]bool, len(p.Sizes))
+		for _, x := range p.Sizes {
+			if x < 0 {
+				return fmt.Errorf("key: negative sweep size %d", x)
+			}
+			if seen[x] {
+				return fmt.Errorf("key: duplicate sweep size %d (sizes are merge keys)", x)
+			}
+			seen[x] = true
+		}
+		if p.Trials == 0 {
+			p.Trials = 10
+		}
+		if p.Trials < 0 {
+			return fmt.Errorf("key: negative trials %d", p.Trials)
+		}
+		if p.Seed == 0 {
+			p.Seed = 1
+		}
+		if p.MaxSteps == 0 {
+			p.MaxSteps = 1 << 20
+		}
+		if p.MaxSteps < 0 || p.Patience < 0 {
+			return fmt.Errorf("key: negative step budget (max_steps=%d patience=%d)", p.MaxSteps, p.Patience)
+		}
+		if p.Scheduler == "" {
+			p.Scheduler = "weighted"
+		}
+		if p.Batch < 0 || p.Eps < 0 || p.Eps >= 1 {
+			return fmt.Errorf("key: bad batch/eps (%d, %g)", p.Batch, p.Eps)
+		}
+		switch p.Scheduler {
+		case "batched":
+			if p.Eps != 0 {
+				return fmt.Errorf("key: eps only applies to countbatch or auto (got %q)", p.Scheduler)
+			}
+			if p.Batch == 0 {
+				p.Batch = sim.DefaultBatch
+			}
+		case "countbatch", "auto":
+			if p.Batch == 0 {
+				p.Batch = sim.DefaultMinBatch
+			}
+			if p.Eps == 0 {
+				p.Eps = sim.DefaultEpsilon
+			}
+		default:
+			if p.Batch != 0 || p.Eps != 0 {
+				return fmt.Errorf("key: batch/eps only apply to batched, countbatch or auto (got %q)", p.Scheduler)
+			}
+		}
+		if _, err := sim.SchedulerByName(p.Scheduler, p.Batch, p.Eps, 0); err != nil {
+			return err
+		}
+		if p.Block < 0 {
+			return fmt.Errorf("key: negative trial block %d", p.Block)
+		}
+		if p.Block == 0 {
+			// ≥ ~4 deltas per size by default; the dice is key material,
+			// so the default is spelled out explicitly.
+			p.Block = (p.Trials + 3) / 4
+			if p.Block < 1 {
+				p.Block = 1
+			}
+		}
+		// Stop-rule normalization mirrors sim.StopRule.WithDefaults so a
+		// defaulted floor and a spelled-out one share a key.
+		rule := sim.StopRule{TargetRelCI: p.CITarget, MinTrials: p.MinTrials}
+		if err := rule.Validate(); err != nil {
+			return err
+		}
+		if rule.Enabled() {
+			p.MinTrials = rule.WithDefaults().MinTrials
+		}
 	default:
 		return fmt.Errorf("key: unknown query kind %q", q.Kind)
 	}

@@ -55,6 +55,50 @@ func TestDefaultsShareKeys(t *testing.T) {
 	if a, b := mustKey(t, tb), mustKey(t, vb); a != b {
 		t.Fatalf("bounds defaults split keys: %s vs %s", a, b)
 	}
+
+	ts := &Query{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4}, Sweep: &SweepParams{Sizes: []int64{2, 4}}}
+	vs := &Query{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4},
+		Sweep: &SweepParams{Sizes: []int64{2, 4}, Trials: 10, Seed: 1, MaxSteps: 1 << 20, Scheduler: "weighted", Block: 3}}
+	if a, b := mustKey(t, ts), mustKey(t, vs); a != b {
+		t.Fatalf("sweep defaults split keys: %s vs %s", a, b)
+	}
+	// The stop-rule floor default is spelled out too: an enabled rule
+	// with a defaulted floor keys like the explicit floor.
+	tr := &Query{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4}, Sweep: &SweepParams{Sizes: []int64{2, 4}, CITarget: 0.05}}
+	vr := &Query{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4}, Sweep: &SweepParams{Sizes: []int64{2, 4}, CITarget: 0.05, MinTrials: 8}}
+	if a, b := mustKey(t, tr), mustKey(t, vr); a != b {
+		t.Fatalf("stop-rule floor default split keys: %s vs %s", a, b)
+	}
+}
+
+func sweepQuery() *Query {
+	return &Query{
+		Kind: KindSweep,
+		Spec: Spec{Protocol: "flock", Param: 4},
+		Sweep: &SweepParams{Sizes: []int64{2, 4, 8}, Trials: 8, Seed: 7, MaxSteps: 200000,
+			Patience: 1000, Scheduler: "weighted", Block: 2},
+	}
+}
+
+// Every semantically meaningful sweep field must move the key —
+// including the trial block (it changes the stream and the stopping
+// boundaries) and the stop rule.
+func TestSweepFieldsSplitKeys(t *testing.T) {
+	base := mustKey(t, sweepQuery())
+	for name, mutate := range map[string]func(*Query){
+		"sizes":     func(q *Query) { q.Sweep.Sizes = []int64{2, 4, 16} },
+		"trials":    func(q *Query) { q.Sweep.Trials = 9 },
+		"seed":      func(q *Query) { q.Sweep.Seed = 8 },
+		"block":     func(q *Query) { q.Sweep.Block = 4 },
+		"ci_target": func(q *Query) { q.Sweep.CITarget = 0.05 },
+		"scheduler": func(q *Query) { q.Sweep.Scheduler = "countbatch" },
+	} {
+		q := sweepQuery()
+		mutate(q)
+		if k := mustKey(t, q); k == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
 }
 
 // Every semantically meaningful field must move the key.
@@ -92,6 +136,14 @@ func TestNormalizeRejects(t *testing.T) {
 		{Kind: KindBounds, Bounds: &BoundsParams{Op: "nope"}},
 		{Kind: KindBounds, Bounds: &BoundsParams{Op: "thm43", KMax: 5}},
 		{Kind: KindBounds, Spec: Spec{Protocol: "flock", Param: 4}, Bounds: &BoundsParams{Op: "thm43"}},
+		{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4}},
+		{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4}, Sweep: &SweepParams{}},
+		{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4}, Sweep: &SweepParams{Sizes: []int64{2, 2}}},
+		{Kind: KindSweep, Spec: Spec{Protocol: "majority", Param: 0}, Sweep: &SweepParams{Sizes: []int64{2}}},
+		{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4}, Sweep: &SweepParams{Sizes: []int64{2}, Block: -1}},
+		{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4}, Sweep: &SweepParams{Sizes: []int64{2}, CITarget: 1.5}},
+		{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4}, Sweep: &SweepParams{Sizes: []int64{2}, MinTrials: 4}},
+		{Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4}, Sweep: &SweepParams{Sizes: []int64{2}}, Verify: &VerifyParams{}},
 	}
 	for i, q := range bad {
 		if _, err := Of(q); err == nil {
@@ -119,11 +171,14 @@ func TestKeyGolden(t *testing.T) {
 		"simulate-cb-power2": {Kind: KindSimulate, Spec: Spec{Protocol: "power2", Param: 10}, Simulate: &SimulateParams{X: 1024, Scheduler: "countbatch"}},
 		"verify-flock":       {Kind: KindVerify, Spec: Spec{Protocol: "flock", Param: 4}, Verify: &VerifyParams{MaxX: 9, Budget: 1 << 16}},
 		"bounds-section8":    {Kind: KindBounds, Bounds: &BoundsParams{Op: "section8", D: 4, T: 2, L: 2}},
+		"sweep-flock":        sweepQuery(),
+		"sweep-ci-flock": {Kind: KindSweep, Spec: Spec{Protocol: "flock", Param: 4},
+			Sweep: &SweepParams{Sizes: []int64{2, 4, 8, 16}, Trials: 48, Block: 4, CITarget: 0.05}},
 	}
 	golden := filepath.Join("testdata", "key.golden.json")
 	if *update {
 		var entries []goldenEntry
-		for _, name := range []string{"simulate-flock", "simulate-cb-power2", "verify-flock", "bounds-section8"} {
+		for _, name := range []string{"simulate-flock", "simulate-cb-power2", "verify-flock", "bounds-section8", "sweep-flock", "sweep-ci-flock"} {
 			q := queries[name]
 			k := mustKey(t, q)
 			raw, err := json.Marshal(q)

@@ -41,6 +41,20 @@
 // capped (413 past the limit), /healthz answers liveness while the
 // process is up, and /readyz flips to 503 while the store underneath
 // is degraded to compute-only mode, healing itself in the background.
+//
+// /v1/sweep is the anytime endpoint: an NDJSON stream of checksummed
+// per-cell delta lines while the compute runs — each delta a sealed
+// shard.CellArtifact whose cumulative trial counts give the client a
+// strictly increasing completeness view — followed by one terminal
+// merged document byte-identical to the stored artifact, so a client
+// folding deltas can cross-check the fold and a warm replay (which
+// skips straight to the terminal line, X-Cache: hit) returns exactly
+// the bytes the cold stream promised. Sweep queries are planned
+// through internal/shard with the same block dicing and stop rule the
+// ppsweep CLI uses, so daemon and CLI produce interchangeable
+// artifacts; a stream cut by a failure or deadline is detectable by
+// its missing terminal line, and a disconnected client cancels the
+// compute and returns its admission tokens.
 package serve
 
 import (
@@ -177,6 +191,13 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		s.run(w, r, &key.Query{Kind: key.KindBounds, Bounds: &req.BoundsParams})
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var req sweepRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		s.runSweep(w, r, &key.Query{Kind: key.KindSweep, Spec: req.Spec, Sweep: &req.SweepParams})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := s.jobs.get(r.PathValue("id"))

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/serve/key"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// sweepBody is the test sweep: small enough to finish instantly,
+// blocked so each size streams several deltas.
+const sweepBody = `{"spec":{"protocol":"flock","param":4},"sizes":[2,4,8],"trials":8,"seed":7,"max_steps":200000,"patience":1000,"block":2}`
+
+func sweepTestQuery(t *testing.T) *key.Query {
+	t.Helper()
+	var req sweepRequest
+	if err := json.Unmarshal([]byte(sweepBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	return &key.Query{Kind: key.KindSweep, Spec: req.Spec, Sweep: &req.SweepParams}
+}
+
+// The replay-client contract on a cold stream: every non-terminal line
+// is a checksum-valid cell delta, completeness strictly increases
+// delta over delta, the folded deltas equal the terminal document, and
+// the terminal line is byte-identical to the stored artifact's result.
+func TestSweepStreamColdThenWarm(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(sweepBody)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold sweep: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	if c := rec.Header().Get("X-Cache"); c != "miss" {
+		t.Fatalf("cold sweep X-Cache %q, want miss", c)
+	}
+	lines := bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("cold stream has %d lines; want deltas plus a terminal document", len(lines))
+	}
+	deltas, terminal := lines[:len(lines)-1], lines[len(lines)-1]
+
+	var cells []*shard.CellArtifact
+	done := 0
+	for i, line := range deltas {
+		ca, err := shard.DecodeCellLine(line)
+		if err != nil {
+			t.Fatalf("delta %d invalid: %v\n%s", i, err, line)
+		}
+		next := done + ca.Stats.Trials
+		if next <= done {
+			t.Fatalf("delta %d: completeness did not increase (%d -> %d)", i, done, next)
+		}
+		done = next
+		cells = append(cells, ca)
+	}
+
+	var merged shard.AnytimeMerged
+	if err := json.Unmarshal(terminal, &merged); err != nil {
+		t.Fatalf("terminal line is not a merged document: %v", err)
+	}
+	if merged.Partial {
+		t.Fatal("completed sweep reported partial")
+	}
+	if done != len(merged.Points)*8 {
+		t.Fatalf("deltas cover %d trials, terminal document %d points × 8", done, len(merged.Points))
+	}
+	// Folding the deltas reproduces the terminal document exactly.
+	sw, pts, err := shard.CollectPartial(nil, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refold, err := shard.MergePartial(sw, pts, sim.StopRule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refoldBytes, err := json.Marshal(refold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refoldBytes, terminal) {
+		t.Fatalf("folded deltas differ from terminal line:\n%s\nvs\n%s", refoldBytes, terminal)
+	}
+	// The terminal line is the stored artifact, byte for byte.
+	k, err := key.Of(sweepTestQuery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := s.Store().Get(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(art.Result), terminal) {
+		t.Fatalf("stored artifact differs from terminal line:\n%s\nvs\n%s", art.Result, terminal)
+	}
+
+	// Warm replay: one line only (the terminal document), X-Cache hit,
+	// identical bytes.
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(sweepBody)))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("warm sweep: status %d", rec2.Code)
+	}
+	if c := rec2.Header().Get("X-Cache"); c != "hit" {
+		t.Fatalf("warm sweep X-Cache %q, want hit", c)
+	}
+	warm := bytes.Split(bytes.TrimSpace(rec2.Body.Bytes()), []byte("\n"))
+	if len(warm) != 1 {
+		t.Fatalf("warm stream has %d lines, want just the terminal document", len(warm))
+	}
+	if !bytes.Equal(warm[0], terminal) {
+		t.Fatal("warm terminal line differs from cold one")
+	}
+}
+
+// A sweep with a CI target stops early: the terminal document marks
+// every size stopped with fewer trials done than planned, and the
+// stream carries fewer deltas than the exhaustive plan would.
+func TestSweepStreamStopsEarly(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	body := `{"spec":{"protocol":"flock","param":4},"sizes":[2,4,8,16],"trials":48,"seed":1,"max_steps":200000,"patience":1000,"block":4,"ci_target":0.05}`
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	lines := bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte("\n"))
+	var merged shard.AnytimeMerged
+	if err := json.Unmarshal(lines[len(lines)-1], &merged); err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range merged.Points {
+		if !pt.Stopped {
+			t.Errorf("x=%d not stopped under a rule every size satisfies", pt.X)
+		}
+		if pt.TrialsDone >= pt.TrialsPlanned {
+			t.Errorf("x=%d: stopping saved nothing (%d of %d)", pt.X, pt.TrialsDone, pt.TrialsPlanned)
+		}
+	}
+	if exhaustive := 4 * 48 / 4; len(lines)-1 >= exhaustive {
+		t.Errorf("stream carried %d deltas; stopping should cut well below the %d-cell plan", len(lines)-1, exhaustive)
+	}
+}
+
+// notifyWriter signals the first streamed byte, so the disconnect test
+// can cancel mid-stream rather than racing the whole compute.
+type notifyWriter struct {
+	httptest.ResponseRecorder
+	mu    sync.Mutex
+	once  sync.Once
+	first chan struct{}
+}
+
+func (nw *notifyWriter) Write(b []byte) (int, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.once.Do(func() { close(nw.first) })
+	return nw.ResponseRecorder.Write(b)
+}
+
+func (nw *notifyWriter) WriteHeader(code int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.ResponseRecorder.WriteHeader(code)
+}
+
+// A client that disconnects mid-stream cancels the compute and leaks
+// no admission tokens: the bucket refills to capacity once the handler
+// unwinds.
+func TestSweepDisconnectReleasesAdmission(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	// Big enough that the compute cannot finish before the cancel
+	// lands: many sizes, many trials, one-trial blocks.
+	body := `{"spec":{"protocol":"flock","param":4},"sizes":[64,128,256,512,1024],"trials":64,"block":1,"max_steps":1000000}`
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body)).WithContext(ctx)
+	nw := &notifyWriter{ResponseRecorder: *httptest.NewRecorder(), first: make(chan struct{})}
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		h.ServeHTTP(nw, req)
+	}()
+	<-nw.first
+	cancel()
+	<-doneCh
+
+	capacity, avail, _ := s.admit.snapshot()
+	if avail != capacity {
+		t.Fatalf("admission bucket at %d of %d after a mid-stream disconnect: tokens leaked", avail, capacity)
+	}
+}
+
+// Malformed sweep requests fail as JSON errors before any stream
+// starts: unknown members, non-counting protocols, bad stop rules.
+func TestSweepBadRequests(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	for name, body := range map[string]string{
+		"unknown member":  `{"spec":{"protocol":"flock","param":4},"sizes":[2],"trialz":3}`,
+		"no sizes":        `{"spec":{"protocol":"flock","param":4}}`,
+		"non-counting":    `{"spec":{"protocol":"majority","param":0},"sizes":[2]}`,
+		"bad ci_target":   `{"spec":{"protocol":"flock","param":4},"sizes":[2],"ci_target":2}`,
+		"floor sans rule": `{"spec":{"protocol":"flock","param":4},"sizes":[2],"min_trials":4}`,
+	} {
+		rec, doc := post(t, h, "/v1/sweep", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, rec.Code)
+		}
+		if _, ok := doc["error"]; !ok {
+			t.Errorf("%s: no error member in %s", name, rec.Body.String())
+		}
+	}
+}

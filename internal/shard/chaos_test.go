@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/faultfs"
+	"repro/internal/sim"
 )
 
 // The chaos property: a dispatcher running over a seeded random fault
@@ -71,7 +72,7 @@ func TestResumeTornCellWrite(t *testing.T) {
 	})
 	env := newQueueEnv(faulty, 0, 0, &c1)
 	// The tear is silent: this run believes it persisted every cell.
-	if _, err := runResumable(context.Background(), m, "s000", 0, dir, 0, env); err != nil {
+	if _, err := runResumable(context.Background(), m, "s000", 0, dir, 0, env, sim.StopRule{}, nil); err != nil {
 		t.Fatalf("torn write must be silent at write time: %v", err)
 	}
 	if len(faulty.Fired()) != 1 {

@@ -170,6 +170,90 @@ func PlanCost(sw SweepSpec, shards int, model CostModel) (*Manifest, error) {
 	return m, nil
 }
 
+// PlanCostBlock is PlanCost with the trial axis diced into fixed
+// blocks of block trials before the cut: per size, cells are
+// [0,block), [block,2·block), … (the last one ragged), and shards are
+// contiguous runs of whole blocks at near-equal cost. The dice makes
+// every cell boundary a pure function of (spec, block) — independent
+// of the shard count — which is what anytime stopping needs: the
+// StopRule is evaluated at cell boundaries, so on a diced plan the
+// stopping decision (and hence the reported artifact) is identical
+// whether the sweep ran on 1 worker or 100, cut 2 ways or 7. It also
+// fixes the granularity of streamed deltas and of resumable
+// persistence. block = 0 is exactly PlanCost; the manifest records
+// the dice in its Block field.
+func PlanCostBlock(sw SweepSpec, shards int, model CostModel, block int) (*Manifest, error) {
+	if block < 0 {
+		return nil, fmt.Errorf("shard: negative trial block %d", block)
+	}
+	if block == 0 {
+		return PlanCost(sw, shards, model)
+	}
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("shard: shard count must be positive")
+	}
+	// The diced grid, size-major like PlanCost's walk.
+	var cells []Cell
+	var costs []int64
+	var total int64
+	for _, x := range sw.Sizes {
+		unit := model.TrialCost(x)
+		if unit < 1 {
+			return nil, fmt.Errorf("shard: cost model %s gives non-positive cost %d at x=%d", model.Name(), unit, x)
+		}
+		for lo := 0; lo < sw.Trials; lo += block {
+			hi := min(lo+block, sw.Trials)
+			n := int64(hi - lo)
+			if unit > math.MaxInt64/n || total > math.MaxInt64-unit*n {
+				return nil, fmt.Errorf("shard: total cost overflows int64 under model %s", model.Name())
+			}
+			cells = append(cells, Cell{X: x, TrialLo: lo, TrialHi: hi})
+			costs = append(costs, unit*n)
+			total += unit * n
+		}
+	}
+	if shards > len(cells) {
+		shards = len(cells)
+	}
+	if total > math.MaxInt64/int64(shards) {
+		return nil, fmt.Errorf("shard: total cost %d too large for %d-shard quantiles", total, shards)
+	}
+	m := &Manifest{Schema: ManifestSchema, Sweep: sw, Block: block, Shards: make([]Spec, 0, shards)}
+	if model.Name() != (UniformCost{}).Name() {
+		m.CostModel = model.Name()
+	}
+	// Quantile cuts at block granularity: boundary i is the largest
+	// block index k whose cumulative cost is ≤ ⌊i·total/shards⌋.
+	prev, cum := 0, int64(0)
+	k := 0
+	for i := 1; i <= shards; i++ {
+		q := int64(i) * total / int64(shards)
+		for k < len(cells) && cum+costs[k] <= q {
+			cum += costs[k]
+			k++
+		}
+		hi := k
+		if i == shards {
+			hi = len(cells) // guard against ⌊·⌋ shaving the last block
+			for k < len(cells) {
+				cum += costs[k]
+				k++
+			}
+		}
+		if hi <= prev {
+			continue // quantile landed inside the previous cut's block
+		}
+		spec := Spec{ID: fmt.Sprintf("s%03d", len(m.Shards))}
+		spec.Cells = append(spec.Cells, cells[prev:hi]...)
+		m.Shards = append(m.Shards, spec)
+		prev = hi
+	}
+	return m, nil
+}
+
 // Cost is the shard's total cost under the model: Σ over cells of
 // (trial count × per-trial cost), saturating at MaxInt64 — costs are
 // relative and only feed ratios, so a manifest scored under a hotter

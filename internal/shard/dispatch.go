@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/faultfs"
 	"repro/internal/hostmeta"
+	"repro/internal/sim"
 )
 
 // Lease is one shard's ownership record in the dispatch directory: who
@@ -105,6 +106,16 @@ type DispatchOptions struct {
 	// persisting that many fresh cells, leaving its lease to expire
 	// and its partials for the next attempt, exactly like a SIGKILL.
 	FailAfterCells int
+	// Stop is the anytime sequential-stopping rule. When enabled, each
+	// acquired shard skips cells whose point already satisfies the rule
+	// on its folded prefix (Counters.CellsStopped counts them); the
+	// skip is an optimization only — MergePartial truncates at the same
+	// canonical boundary either way.
+	Stop sim.StopRule
+	// Sink, when non-nil, receives every cell this process contributes
+	// (loaded or computed) the moment it lands, for streaming
+	// consumers.
+	Sink sim.CellSink
 }
 
 func (o DispatchOptions) withDefaults() DispatchOptions {
@@ -481,7 +492,7 @@ func (d *dispatcher) runShard(ctx context.Context, shardID string, lease Lease) 
 		defer wg.Done()
 		d.heartbeat(shardCtx, stop, shardID, lease, cancel)
 	}()
-	art, err := runResumable(shardCtx, d.m, shardID, d.opts.Workers, PartialsDir(d.opts.Dir), d.opts.FailAfterCells, d.env)
+	art, err := runResumable(shardCtx, d.m, shardID, d.opts.Workers, PartialsDir(d.opts.Dir), d.opts.FailAfterCells, d.env, d.opts.Stop, d.opts.Sink)
 	close(stop)
 	wg.Wait()
 	if err != nil {

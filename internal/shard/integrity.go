@@ -134,6 +134,10 @@ type Counters struct {
 	// CellsLoaded / CellsComputed split resumable cells by provenance.
 	CellsLoaded   int `json:"cells_loaded"`
 	CellsComputed int `json:"cells_computed"`
+	// CellsStopped counts cells skipped because the point's stop rule
+	// was already satisfied by its folded prefix: budget the anytime
+	// sweep handed back to the fleet.
+	CellsStopped int `json:"cells_stopped,omitempty"`
 }
 
 func (c *Counters) add(o Counters) {
@@ -142,12 +146,17 @@ func (c *Counters) add(o Counters) {
 	c.Quarantined += o.Quarantined
 	c.CellsLoaded += o.CellsLoaded
 	c.CellsComputed += o.CellsComputed
+	c.CellsStopped += o.CellsStopped
 }
 
 // String renders the counters the way ppsweep prints them on exit.
 func (c Counters) String() string {
-	return fmt.Sprintf("steals %d, transient retries %d, quarantined %d, cells %d computed / %d resumed",
+	s := fmt.Sprintf("steals %d, transient retries %d, quarantined %d, cells %d computed / %d resumed",
 		c.Steals, c.Retries, c.Quarantined, c.CellsComputed, c.CellsLoaded)
+	if c.CellsStopped > 0 {
+		s += fmt.Sprintf(" / %d stopped early", c.CellsStopped)
+	}
+	return s
 }
 
 // ReadArtifact loads one shard artifact file, verifying its content

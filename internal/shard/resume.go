@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"reflect"
+	"sort"
 
 	"repro/internal/faultfs"
 	"repro/internal/hostmeta"
@@ -116,9 +117,24 @@ func parseCell(data []byte, path string, sw SweepSpec, want Cell) (*CellArtifact
 // Counters report loaded/computed cells, quarantines and transient
 // retries.
 func RunResumable(ctx context.Context, m *Manifest, shardID string, workers int, dir string) (*Artifact, Counters, error) {
+	return RunResumableStop(ctx, m, shardID, workers, dir, sim.StopRule{}, nil)
+}
+
+// RunResumableStop is RunResumable with the anytime extensions: an
+// optional stop rule and an optional streaming sink. Before computing
+// a cell, the runner folds the point's gap-free prefix from the
+// partials directory (cells other shards persisted count too) and
+// skips the cell when the rule is already satisfied at an earlier
+// boundary — the skip is purely an optimization: MergePartial
+// truncates at the same canonical boundary whether or not the
+// post-stop cells exist, so racing workers that compute a few extra
+// cells never change the reported document. sink (may be nil) fires
+// once per cell the shard contributes, loaded or computed, in
+// execution order.
+func RunResumableStop(ctx context.Context, m *Manifest, shardID string, workers int, dir string, rule sim.StopRule, sink sim.CellSink) (*Artifact, Counters, error) {
 	var c Counters
 	env := newQueueEnv(nil, 0, 0, &c)
-	art, err := runResumable(ctx, m, shardID, workers, dir, 0, env)
+	art, err := runResumable(ctx, m, shardID, workers, dir, 0, env, rule, sink)
 	return art, c, err
 }
 
@@ -128,7 +144,7 @@ func RunResumable(ctx context.Context, m *Manifest, shardID string, workers int,
 // drill: the runner returns errInjectedFailure after persisting that
 // many fresh cells, leaving the partials exactly as a killed process
 // would.
-func runResumable(ctx context.Context, m *Manifest, shardID string, workers int, dir string, failAfter int, env *queueEnv) (*Artifact, error) {
+func runResumable(ctx context.Context, m *Manifest, shardID string, workers int, dir string, failAfter int, env *queueEnv, rule sim.StopRule, sink sim.CellSink) (*Artifact, error) {
 	if m.Schema != ManifestSchema {
 		return nil, fmt.Errorf("shard: manifest schema %d, this build understands %d", m.Schema, ManifestSchema)
 	}
@@ -158,6 +174,34 @@ func runResumable(ctx context.Context, m *Manifest, shardID string, workers int,
 		Shard:  *spec,
 		Host:   hostmeta.Collect(),
 	}
+	// Prefix context for sequential stopping: the full per-size cell
+	// grid (all shards, trial order) and the stats this run has seen,
+	// keyed by cell. Other shards' cells are read from the partials
+	// dir on demand — best effort, since a missing or unreadable
+	// prefix merely means the cell is computed rather than skipped.
+	rule = rule.WithDefaults()
+	var grid map[int64][]Cell
+	known := make(map[Cell]sim.Stats)
+	if rule.Enabled() {
+		grid = make(map[int64][]Cell, len(sw.Sizes))
+		for _, s := range m.Shards {
+			for _, c := range s.Cells {
+				grid[c.X] = append(grid[c.X], c)
+			}
+		}
+		for _, cs := range grid {
+			sortCellsByTrialLo(cs)
+		}
+	}
+	emit := func(c Cell, st sim.Stats) {
+		known[c] = st
+		art.Points = append(art.Points, PartialPoint{
+			X: c.X, TrialLo: c.TrialLo, TrialHi: c.TrialHi, Stats: st,
+		})
+		if sink != nil {
+			sink(c.X, c.TrialLo, c.TrialHi, st)
+		}
+	}
 	fresh := 0
 	for _, c := range spec.Cells {
 		path := filepath.Join(dir, cellFileName(c))
@@ -170,9 +214,7 @@ func runResumable(ctx context.Context, m *Manifest, shardID string, workers int,
 			var corrupt *corruptError
 			switch {
 			case perr == nil:
-				art.Points = append(art.Points, PartialPoint{
-					X: c.X, TrialLo: c.TrialLo, TrialHi: c.TrialHi, Stats: ca.Stats,
-				})
+				emit(c, ca.Stats)
 				env.counters.CellsLoaded++
 				continue
 			case errors.As(perr, &corrupt):
@@ -184,6 +226,10 @@ func runResumable(ctx context.Context, m *Manifest, shardID string, workers int,
 				return nil, perr
 			}
 		}
+		if rule.Enabled() && prefixSatisfied(ctx, env, dir, sw, grid[c.X], c, known, rule) {
+			env.counters.CellsStopped++
+			continue
+		}
 		points, err := sim.SweepRange(ctx, p, sw.InputState, []int64{c.X}, expected, c.TrialLo, c.TrialHi, opts)
 		if err != nil {
 			return nil, fmt.Errorf("shard %s cell x=%d trials [%d,%d): %w", shardID, c.X, c.TrialLo, c.TrialHi, err)
@@ -192,9 +238,7 @@ func runResumable(ctx context.Context, m *Manifest, shardID string, workers int,
 		if err := env.writeSealedRetry(ctx, path, &ca); err != nil {
 			return nil, err
 		}
-		art.Points = append(art.Points, PartialPoint{
-			X: c.X, TrialLo: c.TrialLo, TrialHi: c.TrialHi, Stats: points[0].Stats,
-		})
+		emit(c, points[0].Stats)
 		env.counters.CellsComputed++
 		fresh++
 		if failAfter > 0 && fresh >= failAfter {
@@ -202,6 +246,56 @@ func runResumable(ctx context.Context, m *Manifest, shardID string, workers int,
 		}
 	}
 	return art, nil
+}
+
+// sortCellsByTrialLo orders one size's cells in trial order, the fold
+// order both the stopping fold here and MergePartial use.
+func sortCellsByTrialLo(cs []Cell) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].TrialLo < cs[j].TrialLo })
+}
+
+// prefixSatisfied reports whether the stop rule is already satisfied
+// at some cell boundary strictly before c.TrialLo, folding the
+// point's gap-free prefix [0, c.TrialLo) from cells this run already
+// holds (known) or other shards persisted in dir. Any hole in the
+// prefix — a cell not yet computed, unreadable, or corrupt — aborts
+// the fold and reports false: computing a post-stop cell is always
+// safe (MergePartial truncates at the canonical boundary), whereas
+// skipping on incomplete evidence could stall a sweep. Quarantining
+// an observed-corrupt prefix cell is left to the shard that owns it.
+func prefixSatisfied(ctx context.Context, env *queueEnv, dir string, sw SweepSpec, gridX []Cell, c Cell, known map[Cell]sim.Stats, rule sim.StopRule) bool {
+	if c.TrialLo == 0 {
+		return false
+	}
+	var prefix sim.Stats
+	next := 0
+	for _, pc := range gridX {
+		if pc.TrialLo != next || pc.TrialHi > c.TrialLo {
+			return false // gap, or the grid never tiles [0, c.TrialLo)
+		}
+		st, ok := known[pc]
+		if !ok {
+			data, err := env.readRetry(ctx, dir+"/"+cellFileName(pc))
+			if err != nil || data == nil {
+				return false
+			}
+			ca, perr := parseCell(data, dir+"/"+cellFileName(pc), sw, pc)
+			if perr != nil {
+				return false
+			}
+			st = ca.Stats
+			known[pc] = st
+		}
+		prefix.Merge(st)
+		if rule.Satisfied(&prefix) {
+			return true
+		}
+		next = pc.TrialHi
+		if next >= c.TrialLo {
+			return false
+		}
+	}
+	return false
 }
 
 // errInjectedFailure marks a deliberately simulated worker death

@@ -9,6 +9,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 // A full resumable run with a cold partials dir must produce exactly
@@ -77,7 +79,7 @@ func TestRunResumableKillResume(t *testing.T) {
 	dir := t.TempDir()
 	var kc Counters
 	kenv := newQueueEnv(nil, 0, 0, &kc)
-	if _, err := runResumable(context.Background(), m, "s000", 0, dir, 2, kenv); !errors.Is(err, errInjectedFailure) {
+	if _, err := runResumable(context.Background(), m, "s000", 0, dir, 2, kenv, sim.StopRule{}, nil); !errors.Is(err, errInjectedFailure) {
 		t.Fatalf("injected failure not reported: %v", err)
 	}
 	entries, _ := os.ReadDir(dir)

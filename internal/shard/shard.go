@@ -45,6 +45,22 @@
 // neither rob a live owner nor keep a dead one's lease. All I/O goes
 // through the faultfs seam, so every one of these failure paths is
 // exercised by seeded, reproducible fault schedules.
+//
+// Sweeps are anytime computations. PlanCostBlock dices each size's
+// trial axis into fixed blocks, making the cell grid a pure function
+// of the spec and the block size — independent of the shard count —
+// so cells from any cut of the same sweep interoperate. MergePartial
+// folds any subset of shard artifacts and cell partials into a valid
+// document with per-point trials_done/trials_planned completeness;
+// with every cell present its bytes equal the strict Merge's. A
+// sim.StopRule adds sequential stopping: a size stops once the
+// gap-free prefix of its trials meets the CI target, and the
+// canonical stopping boundary is decided at merge time — MergePartial
+// truncates each size at the first satisfied block boundary — so the
+// stopped document is a pure function of (spec, block, rule). Workers
+// that skip cells past the boundary at run time are an optimization,
+// never a semantic: racing workers, shard cuts and worker counts all
+// produce byte-identical stopped documents.
 package shard
 
 import (
@@ -193,7 +209,15 @@ type Manifest struct {
 	Schema    int       `json:"schema"`
 	Sweep     SweepSpec `json:"sweep"`
 	CostModel string    `json:"cost_model,omitempty"`
-	Shards    []Spec    `json:"shards"`
+	// Block records the trial-axis dice of PlanCostBlock: every cell
+	// boundary lands on a multiple of Block (plus the ragged end of
+	// the trial range), so the cell grid — and with it every anytime
+	// stopping checkpoint — is independent of the shard count. 0
+	// means the legacy cut, where boundaries follow the cost
+	// quantiles. Provenance only: it does not enter the sweep spec,
+	// so diced and undiced runs of one sweep merge together.
+	Block  int    `json:"block,omitempty"`
+	Shards []Spec `json:"shards"`
 }
 
 // Shard returns the spec with the given id.

@@ -26,6 +26,15 @@
 //     commutative and folding any partition of a trial set — in any
 //     order — equals direct aggregation bit for bit. Means, variance
 //     and confidence intervals are methods computed at render time.
+//
+// On top of those two invariants sits the anytime layer: a CellSink
+// threaded through SweepRangeSink streams each cell's Stats delta the
+// moment it completes (deltas arrive in completion order, but merging
+// them is order-erasing), and a StopRule adds sequential stopping —
+// a point stops accruing trials once its relative confidence interval
+// meets the target, evaluated only on the gap-free prefix of its
+// cells folded in trial order, so the stopping decision is a pure
+// function of (seed, cell grid, rule) and never of scheduling.
 package sim
 
 import (
